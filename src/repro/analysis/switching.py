@@ -1,0 +1,93 @@
+"""Switch-event analytics over an ADTS run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.history import SwitchEvent
+
+Transition = Tuple[str, str]
+
+
+def switch_matrix(events: Sequence[SwitchEvent]) -> Dict[Transition, int]:
+    """Counts of each (from, to) policy transition."""
+    matrix: Dict[Transition, int] = {}
+    for e in events:
+        key = (e.from_policy, e.to_policy)
+        matrix[key] = matrix.get(key, 0) + 1
+    return matrix
+
+
+def policy_residency(quantum_history) -> Dict[str, int]:
+    """Quanta spent under each policy (from the pipeline's history)."""
+    residency: Dict[str, int] = {}
+    for q in quantum_history:
+        residency[q.policy] = residency.get(q.policy, 0) + 1
+    return residency
+
+
+def transition_quality(events: Sequence[SwitchEvent]) -> Dict[Transition, Dict[str, float]]:
+    """Per-transition benign/malignant breakdown."""
+    out: Dict[Transition, Dict[str, float]] = {}
+    for e in events:
+        key = (e.from_policy, e.to_policy)
+        entry = out.setdefault(key, {"benign": 0, "malignant": 0, "pending": 0})
+        if e.benign is True:
+            entry["benign"] += 1
+        elif e.benign is False:
+            entry["malignant"] += 1
+        else:
+            entry["pending"] += 1
+    for entry in out.values():
+        judged = entry["benign"] + entry["malignant"]
+        entry["benign_probability"] = entry["benign"] / judged if judged else 0.0
+    return out
+
+
+@dataclass
+class SwitchingReport:
+    """Everything Figure 7 summarizes, for one run."""
+
+    num_switches: int
+    benign_probability: float
+    matrix: Dict[Transition, int] = field(default_factory=dict)
+    residency: Dict[str, int] = field(default_factory=dict)
+    quality: Dict[Transition, Dict[str, float]] = field(default_factory=dict)
+    low_throughput_quanta: int = 0
+    missed_decisions: int = 0
+    mean_decision_latency: float = 0.0
+
+    def most_common_transition(self) -> Transition:
+        """The (from, to) pair with the most switches."""
+        if not self.matrix:
+            return ("", "")
+        return max(self.matrix, key=self.matrix.get)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view."""
+        return {
+            "num_switches": self.num_switches,
+            "benign_probability": self.benign_probability,
+            "matrix": {f"{a}->{b}": v for (a, b), v in self.matrix.items()},
+            "residency": self.residency,
+            "low_throughput_quanta": self.low_throughput_quanta,
+            "missed_decisions": self.missed_decisions,
+            "mean_decision_latency": self.mean_decision_latency,
+        }
+
+
+def analyze_controller(controller, quantum_history=None) -> SwitchingReport:
+    """Build a :class:`SwitchingReport` from a finished ADTS controller
+    (and optionally the pipeline's quantum history for residency)."""
+    events = controller.ledger.events
+    return SwitchingReport(
+        num_switches=controller.num_switches,
+        benign_probability=controller.benign_probability,
+        matrix=switch_matrix(events),
+        residency=policy_residency(quantum_history or []),
+        quality=transition_quality(events),
+        low_throughput_quanta=controller.low_throughput_quanta,
+        missed_decisions=controller.missed_decisions,
+        mean_decision_latency=controller.detector.mean_task_latency(),
+    )

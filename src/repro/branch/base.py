@@ -1,0 +1,85 @@
+"""Common predictor machinery: the saturating-counter table and interface."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class TwoBitCounterTable:
+    """A table of 2-bit saturating counters stored in a NumPy array.
+
+    Counter states: 0 strongly-not-taken, 1 weakly-not-taken,
+    2 weakly-taken, 3 strongly-taken. Initialized weakly-taken (2),
+    the SimpleScalar convention.
+    """
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("counter table size must be a positive power of two")
+        self.entries = entries
+        self.mask = entries - 1
+        self._table = np.full(entries, 2, dtype=np.int8)
+
+    def predict(self, index: int) -> bool:
+        """Taken prediction for table slot ``index``."""
+        return bool(self._table[index & self.mask] >= 2)
+
+    def update(self, index: int, taken: bool) -> None:
+        """Train slot ``index`` toward the actual outcome."""
+        i = index & self.mask
+        if taken:
+            if self._table[i] < 3:
+                self._table[i] += 1
+        elif self._table[i] > 0:
+            self._table[i] -= 1
+
+    def counter(self, index: int) -> int:
+        """Raw counter value at ``index`` (testing/inspection)."""
+        return int(self._table[index & self.mask])
+
+    def reset(self) -> None:
+        """Re-initialize every counter to weakly-taken."""
+        self._table.fill(2)
+
+
+class BranchPredictor(abc.ABC):
+    """Direction predictor interface.
+
+    Predictors are thread-aware: on SMT, speculative global history must be
+    kept per hardware context or cross-thread aliasing destroys accuracy
+    (contexts share the *tables*, like real SMT hardware, but not the
+    history registers).
+    """
+
+    def __init__(self) -> None:
+        self.lookups = 0
+        self.correct = 0
+
+    @abc.abstractmethod
+    def predict(self, tid: int, pc: int) -> bool:
+        """Predict direction of the conditional branch at ``pc``."""
+
+    @abc.abstractmethod
+    def update(self, tid: int, pc: int, taken: bool) -> None:
+        """Train with the resolved outcome."""
+
+    def predict_and_update(self, tid: int, pc: int, taken: bool) -> bool:
+        """Convenience for trace-driven use: returns True iff correct."""
+        self.lookups += 1
+        prediction = self.predict(tid, pc)
+        self.update(tid, pc, taken)
+        ok = prediction == taken
+        if ok:
+            self.correct += 1
+        return ok
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.lookups if self.lookups else 1.0
+
+    def reset(self) -> None:
+        """Clear accuracy statistics (and, in subclasses, tables)."""
+        self.lookups = 0
+        self.correct = 0

@@ -1,0 +1,30 @@
+"""Bimodal (per-PC 2-bit counter) direction predictor."""
+
+from __future__ import annotations
+
+from repro.branch.base import BranchPredictor, TwoBitCounterTable
+
+
+class BimodalPredictor(BranchPredictor):
+    """Classic bimodal predictor: PC-indexed 2-bit saturating counters.
+
+    The table is shared across hardware contexts (real SMT shares predictor
+    arrays), so threads alias and interfere — an effect BRCOUNT exploits.
+    """
+
+    def __init__(self, entries: int = 2048) -> None:
+        super().__init__()
+        self.table = TwoBitCounterTable(entries)
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self.table.mask
+
+    def predict(self, tid: int, pc: int) -> bool:
+        return self.table.predict(self._index(pc))
+
+    def update(self, tid: int, pc: int, taken: bool) -> None:
+        self.table.update(self._index(pc), taken)
+
+    def reset(self) -> None:
+        super().reset()
+        self.table.reset()

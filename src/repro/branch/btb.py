@@ -1,0 +1,52 @@
+"""Branch Target Buffer.
+
+Direct-mapped tagged target store. A taken branch whose target misses in
+the BTB costs a fetch-redirect bubble even when the direction prediction
+was correct; this contributes to the front-end waste that BRCOUNT-style
+policies react to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BranchTargetBuffer:
+    """Direct-mapped BTB with full tags."""
+
+    def __init__(self, entries: int = 256) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("BTB size must be a positive power of two")
+        self.entries = entries
+        self.mask = entries - 1
+        self._tags = np.full(entries, -1, dtype=np.int64)
+        self._targets = np.zeros(entries, dtype=np.int64)
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, pc: int) -> int:
+        """Predicted target for the branch at ``pc``, or -1 on BTB miss."""
+        idx = (pc >> 2) & self.mask
+        if self._tags[idx] == pc:
+            self.hits += 1
+            return int(self._targets[idx])
+        self.misses += 1
+        return -1
+
+    def update(self, pc: int, target: int) -> None:
+        """Install/refresh the target of the branch at ``pc``."""
+        idx = (pc >> 2) & self.mask
+        self._tags[idx] = pc
+        self._targets[idx] = target
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 1.0
+
+    def reset(self) -> None:
+        """Invalidate all entries and clear statistics."""
+        self._tags.fill(-1)
+        self._targets.fill(0)
+        self.hits = 0
+        self.misses = 0

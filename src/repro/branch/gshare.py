@@ -1,0 +1,43 @@
+"""Gshare direction predictor with per-context global history."""
+
+from __future__ import annotations
+
+from repro.branch.base import BranchPredictor, TwoBitCounterTable
+
+
+class GsharePredictor(BranchPredictor):
+    """Gshare: PC xor global-history indexed 2-bit counters.
+
+    The pattern table is shared by all contexts; the global-history
+    register is per context (``max_threads`` of them), since interleaving
+    independent threads' outcomes into one history register would make the
+    history meaningless.
+    """
+
+    def __init__(self, entries: int = 2048, history_bits: int = 10, max_threads: int = 16) -> None:
+        super().__init__()
+        if history_bits <= 0:
+            raise ValueError("history_bits must be positive")
+        self.table = TwoBitCounterTable(entries)
+        self.history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._history = [0] * max_threads
+
+    def _index(self, tid: int, pc: int) -> int:
+        return ((pc >> 2) ^ self._history[tid]) & self.table.mask
+
+    def predict(self, tid: int, pc: int) -> bool:
+        return self.table.predict(self._index(tid, pc))
+
+    def update(self, tid: int, pc: int, taken: bool) -> None:
+        self.table.update(self._index(tid, pc), taken)
+        self._history[tid] = ((self._history[tid] << 1) | int(taken)) & self._history_mask
+
+    def history(self, tid: int) -> int:
+        """Current global-history register of context ``tid``."""
+        return self._history[tid]
+
+    def reset(self) -> None:
+        super().reset()
+        self.table.reset()
+        self._history = [0] * len(self._history)

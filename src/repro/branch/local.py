@@ -1,0 +1,52 @@
+"""Two-level local-history predictor (PAg), Yeh & Patt style.
+
+A per-branch history table (indexed by PC, shared across contexts like all
+predictor arrays on SMT) feeds a pattern table of 2-bit counters. Local
+history captures per-branch periodic patterns that bimodal cannot (e.g.
+loop branches with fixed trip counts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.branch.base import BranchPredictor, TwoBitCounterTable
+
+
+class LocalHistoryPredictor(BranchPredictor):
+    """PAg: per-PC local history -> shared pattern table."""
+
+    def __init__(
+        self,
+        history_entries: int = 1024,
+        history_bits: int = 8,
+        pattern_entries: int = 1024,
+    ) -> None:
+        super().__init__()
+        if history_entries <= 0 or history_entries & (history_entries - 1):
+            raise ValueError("history_entries must be a positive power of two")
+        if history_bits <= 0:
+            raise ValueError("history_bits must be positive")
+        self.history_bits = history_bits
+        self._hist_mask = history_entries - 1
+        self._pattern_mask = (1 << history_bits) - 1
+        self._histories = np.zeros(history_entries, dtype=np.int64)
+        self.table = TwoBitCounterTable(pattern_entries)
+
+    def _history_index(self, pc: int) -> int:
+        return (pc >> 2) & self._hist_mask
+
+    def predict(self, tid: int, pc: int) -> bool:
+        history = int(self._histories[self._history_index(pc)])
+        return self.table.predict(history)
+
+    def update(self, tid: int, pc: int, taken: bool) -> None:
+        idx = self._history_index(pc)
+        history = int(self._histories[idx])
+        self.table.update(history, taken)
+        self._histories[idx] = ((history << 1) | int(taken)) & self._pattern_mask
+
+    def reset(self) -> None:
+        super().reset()
+        self._histories.fill(0)
+        self.table.reset()

@@ -1,0 +1,55 @@
+"""Tournament (combining) predictor, McFarling style.
+
+A chooser table of 2-bit counters selects between two component predictors
+per branch; the chooser trains toward whichever component was right when
+they disagree. Default components: bimodal (good for statically biased
+branches, which dominate the synthetic workloads) and local two-level
+(good for patterned branches).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.branch.base import BranchPredictor, TwoBitCounterTable
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.local import LocalHistoryPredictor
+
+
+class TournamentPredictor(BranchPredictor):
+    """Chooser + two component predictors."""
+
+    def __init__(
+        self,
+        component_a: Optional[BranchPredictor] = None,
+        component_b: Optional[BranchPredictor] = None,
+        chooser_entries: int = 2048,
+    ) -> None:
+        super().__init__()
+        self.a = component_a or BimodalPredictor(2048)
+        self.b = component_b or LocalHistoryPredictor()
+        # Chooser counter: >=2 means "trust component a".
+        self.chooser = TwoBitCounterTable(chooser_entries)
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self.chooser.mask
+
+    def predict(self, tid: int, pc: int) -> bool:
+        if self.chooser.predict(self._index(pc)):
+            return self.a.predict(tid, pc)
+        return self.b.predict(tid, pc)
+
+    def update(self, tid: int, pc: int, taken: bool) -> None:
+        pa = self.a.predict(tid, pc)
+        pb = self.b.predict(tid, pc)
+        if pa != pb:
+            # Train the chooser toward the correct component.
+            self.chooser.update(self._index(pc), pa == taken)
+        self.a.update(tid, pc, taken)
+        self.b.update(tid, pc, taken)
+
+    def reset(self) -> None:
+        super().reset()
+        self.a.reset()
+        self.b.reset()
+        self.chooser.reset()

@@ -1,0 +1,201 @@
+"""The ADTS controller: wires the detector thread into the pipeline.
+
+Implements the §4 software architecture (Figure 2/3): at every quantum
+boundary the status counters are read; if ``IPC_last < IPC_thold`` the
+quantum is low-throughput, Identify_CloggingThreads() marks the clogging
+threads' control flags, Determine_NewPolicy() picks a replacement policy,
+and Policy_Switch() engages it — all of it *charged to the detector
+thread*, which progresses only through idle fetch slots, so the switch
+lands some cycles into the next quantum (or is skipped entirely if the DT
+is still busy, which the controller records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.clogging import identify_clogging_threads
+from repro.core.detector import DetectorTask, DetectorThread
+from repro.core.flags import ThreadControlFlags
+from repro.core.heuristics import Heuristic, create_heuristic
+from repro.core.history import SwitchQualityLedger
+from repro.core.quantum import QuantumObservation
+from repro.core.thresholds import ThresholdConfig
+from repro.smt.pipeline import SchedulerHook
+
+#: DT instruction budgets for the fixed parts of the loop (§4.1); the
+#: heuristic's own cost comes from ``Heuristic.cost_instructions``.
+CHECK_COST = 64
+IDENTIFY_COST = 128
+SWITCH_COST = 32
+
+
+@dataclass
+class DecisionLog:
+    """One boundary's decision, for analysis."""
+
+    quantum_index: int
+    ipc: float
+    low_throughput: bool
+    incumbent: str
+    chosen: str
+    switched: bool
+    reason: str = ""
+    applied_at_cycle: int = -1
+
+
+class ADTSController(SchedulerHook):
+    """Adaptive Dynamic Thread Scheduling, as a pipeline scheduler hook."""
+
+    def __init__(
+        self,
+        heuristic: str | Heuristic = "type3",
+        thresholds: Optional[ThresholdConfig] = None,
+        detector: Optional[DetectorThread] = None,
+        instant_dt: bool = False,
+        mark_clogging: bool = True,
+        inhibit_cloggers: bool = False,
+        autotune=None,
+    ) -> None:
+        self.thresholds = thresholds or ThresholdConfig()
+        if isinstance(heuristic, str):
+            self.heuristic = create_heuristic(heuristic, thresholds=self.thresholds)
+        else:
+            self.heuristic = heuristic
+        self.detector = detector or DetectorThread(instant=instant_dt)
+        self.mark_clogging = mark_clogging
+        #: §3's stronger action: "preventing a specific thread from being
+        #: fetched". Inhibition lasts one quantum (re-evaluated each
+        #: boundary), so no thread can starve indefinitely.
+        self.inhibit_cloggers = inhibit_cloggers
+        self._inhibited: set = set()
+        #: optional ThresholdAutoTuner (§4.3.2's threshold-update kernel).
+        self.autotune = autotune
+        self.ledger = SwitchQualityLedger()
+        self.decisions: List[DecisionLog] = []
+        self.missed_decisions = 0
+        self.low_throughput_quanta = 0
+        self._prev_ipc = 0.0
+        self._awaiting_outcome = False
+        self._ipc_before_switch = 0.0
+        self.processor = None
+        self.flags: Optional[ThreadControlFlags] = None
+
+    # -- SchedulerHook ------------------------------------------------------
+    def attach(self, processor) -> None:
+        self.processor = processor
+        self.flags = ThreadControlFlags(processor)
+
+    def on_cycle(self, now: int, idle_slots: int) -> int:
+        return self.detector.on_cycle(now, idle_slots)
+
+    def on_quantum_end(self, now: int, record, snapshots) -> None:
+        obs = QuantumObservation.from_snapshots(record, snapshots, prev_ipc=self._prev_ipc)
+        # Fetch inhibition is a one-quantum action: lift it first.
+        if self._inhibited:
+            for tid in self._inhibited:
+                self.flags.set_fetchable(tid, True)
+            self._inhibited.clear()
+        # Let the threshold-management kernel re-calibrate (§4.3.2).
+        if self.autotune is not None:
+            self.thresholds = self.autotune.observe(obs)
+            self.heuristic.thresholds = self.thresholds
+        # Close out the previous switch's quality measurement.
+        self.ledger.record_quantum_ipc(record.ipc)
+        if self._awaiting_outcome:
+            self.heuristic.record_outcome(record.ipc > self._ipc_before_switch)
+            self._awaiting_outcome = False
+        self._prev_ipc = record.ipc
+
+        if not obs.low_throughput(self.thresholds):
+            return
+        self.low_throughput_quanta += 1
+        if self.detector.busy:
+            # Still chewing on the previous boundary's work: the paper's
+            # starvation case. Skip this decision.
+            self.missed_decisions += 1
+            return
+
+        incumbent = record.policy
+        decision = self.heuristic.decide(incumbent, obs)
+        log = DecisionLog(
+            quantum_index=record.index,
+            ipc=record.ipc,
+            low_throughput=True,
+            incumbent=incumbent,
+            chosen=decision.next_policy,
+            switched=decision.switched,
+            reason=decision.reason,
+        )
+        self.decisions.append(log)
+
+        # Charge the DT for the whole loop body, then act on completion.
+        self.detector.enqueue(DetectorTask("ipc_check", CHECK_COST), now)
+        if self.mark_clogging:
+            self.detector.enqueue(
+                DetectorTask(
+                    "identify_clogging",
+                    IDENTIFY_COST,
+                    on_complete=lambda at, snaps=snapshots: self._apply_clogging(snaps),
+                ),
+                now,
+            )
+        self.detector.enqueue(
+            DetectorTask("determine_policy", self.heuristic.cost_instructions), now
+        )
+        if decision.switched:
+            self.detector.enqueue(
+                DetectorTask(
+                    "policy_switch",
+                    SWITCH_COST,
+                    on_complete=lambda at, d=decision, lg=log, ipc=record.ipc, qi=record.index:
+                        self._apply_switch(at, d, lg, ipc, qi),
+                ),
+                now,
+            )
+
+    # -- actions --------------------------------------------------------------
+    def _apply_switch(self, at_cycle: int, decision, log: DecisionLog, ipc_before: float, qindex: int) -> None:
+        self.processor.set_policy(decision.next_policy)
+        log.applied_at_cycle = at_cycle
+        self.ledger.record_switch(qindex, log.incumbent, decision.next_policy, ipc_before)
+        self._awaiting_outcome = True
+        self._ipc_before_switch = ipc_before
+
+    def _apply_clogging(self, snapshots) -> None:
+        reports = identify_clogging_threads(snapshots)
+        clogging = [r.tid for r in reports if r.clogging]
+        for report in reports:
+            if report.clogging:
+                self.flags.mark_for_suspension(report.tid)
+            else:
+                self.flags.clear_suspension_mark(report.tid)
+        if self.inhibit_cloggers and clogging:
+            # Never inhibit everyone: leave at least half the contexts live.
+            for tid in clogging[: max(1, len(reports) // 2)]:
+                self.flags.set_fetchable(tid, False)
+                self._inhibited.add(tid)
+
+    # -- analysis -----------------------------------------------------------
+    @property
+    def num_switches(self) -> int:
+        return self.ledger.num_switches
+
+    @property
+    def benign_probability(self) -> float:
+        return self.ledger.benign_probability
+
+    def summary(self) -> dict:
+        """Run-level ADTS statistics (switches, quality, DT telemetry)."""
+        return {
+            "heuristic": self.heuristic.name,
+            "ipc_threshold": self.thresholds.ipc_threshold,
+            "low_throughput_quanta": self.low_throughput_quanta,
+            "switches": self.num_switches,
+            "benign_probability": self.benign_probability,
+            "missed_decisions": self.missed_decisions,
+            "dt_instructions": self.detector.instructions_executed,
+            "dt_starved_cycles": self.detector.starved_cycles,
+            "dt_mean_task_latency": self.detector.mean_task_latency(),
+        }

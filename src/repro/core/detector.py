@@ -1,0 +1,145 @@
+"""Functional model of the detector thread (§3, §4.1).
+
+The DT is a real (if special) thread: its program loops over
+Status-check → Identify_CloggingThreads() → Determine_NewPolicy() →
+Policy_Switch() → Policy_Enforce(). We model it functionally — the *work*
+is Python code in the controller — but charge its *cost* faithfully: each
+piece of DT work is a :class:`DetectorTask` with an instruction budget, and
+the DT only executes instructions in fetch slots the normal threads left
+idle (it has the lowest priority; "as long as the instruction fetch buffer
+is full, no instructions from the detector thread can be fetched").
+
+Consequences preserved from the paper:
+
+* under high utilization the DT starves and decisions are delayed
+  (acceptable — "it means that the processor pipeline slots are enjoying
+  high utilization");
+* richer heuristics cost more slots (§4.3.1's trade-off);
+* DT work completes with a latency, so policy switches land mid-quantum.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+
+
+@dataclass
+class DetectorTask:
+    """A unit of detector-thread work.
+
+    Attributes:
+        name: task label (for the activity log).
+        instructions: DT instruction budget the task consumes.
+        on_complete: callback fired when the last instruction executes.
+        enqueued_at: cycle the task was queued (set by the DT).
+    """
+
+    name: str
+    instructions: int
+    on_complete: Optional[Callable[[int], None]] = None
+    enqueued_at: int = -1
+
+
+@dataclass
+class TaskCompletion:
+    """Record of one finished DT task, for overhead analysis."""
+
+    name: str
+    enqueued_at: int
+    completed_at: int
+    instructions: int
+
+    @property
+    def latency(self) -> int:
+        return self.completed_at - self.enqueued_at
+
+
+class DetectorThread:
+    """Executes queued tasks using idle fetch slots.
+
+    ``width`` caps how many DT instructions can retire per cycle even when
+    more slots are idle (the DT context is a single thread; the paper's
+    2–4 KB PRAM feeds at most a fetch block per cycle).
+    """
+
+    def __init__(self, width: int = 8, instant: bool = False) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self.width = width
+        self.instant = instant
+        self._queue: Deque[DetectorTask] = deque()
+        self._remaining = 0
+        # Telemetry.
+        self.instructions_executed = 0
+        self.active_cycles = 0
+        self.starved_cycles = 0
+        self.completions: List[TaskCompletion] = []
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._queue)
+
+    @property
+    def backlog_instructions(self) -> int:
+        if not self._queue:
+            return 0
+        return self._remaining + sum(t.instructions for t in list(self._queue)[1:])
+
+    def enqueue(self, task: DetectorTask, now: int) -> None:
+        """Queue DT work; in ``instant`` mode it completes immediately
+        (the zero-overhead ablation)."""
+        task.enqueued_at = now
+        if self.instant:
+            self.instructions_executed += task.instructions
+            self.completions.append(
+                TaskCompletion(task.name, now, now, task.instructions)
+            )
+            if task.on_complete:
+                task.on_complete(now)
+            return
+        was_empty = not self._queue
+        self._queue.append(task)
+        if was_empty:
+            self._remaining = task.instructions
+
+    def on_cycle(self, now: int, idle_slots: int) -> int:
+        """Make progress with this cycle's idle slots; returns slots used."""
+        if not self._queue:
+            return 0
+        self.active_cycles += 1
+        if idle_slots <= 0:
+            self.starved_cycles += 1
+            return 0
+        budget = min(idle_slots, self.width)
+        consumed = 0
+        while budget > 0 and self._queue:
+            step = min(budget, self._remaining)
+            self._remaining -= step
+            budget -= step
+            consumed += step
+            if self._remaining == 0:
+                task = self._queue.popleft()
+                self.completions.append(
+                    TaskCompletion(task.name, task.enqueued_at, now, task.instructions)
+                )
+                if task.on_complete:
+                    task.on_complete(now)
+                if self._queue:
+                    self._remaining = self._queue[0].instructions
+        self.instructions_executed += consumed
+        return consumed
+
+    def drop_all(self) -> int:
+        """Abandon queued work (used when a decision becomes stale)."""
+        dropped = len(self._queue)
+        self._queue.clear()
+        self._remaining = 0
+        return dropped
+
+    def mean_task_latency(self) -> float:
+        """Mean enqueue-to-completion latency over finished tasks."""
+        if not self.completions:
+            return 0.0
+        return sum(c.latency for c in self.completions) / len(self.completions)

@@ -1,0 +1,59 @@
+"""Heuristic interface.
+
+A heuristic is consulted only when the detector thread has classified the
+previous quantum as low-throughput; it returns the fetch policy to engage
+for the next quantum (possibly the incumbent, i.e. no switch). The
+``cost_instructions`` attribute is the heuristic's decision-code footprint
+in detector-thread instructions — richer heuristics cost more idle slots
+(§4.3.1's sophistication/overhead trade-off), which the
+:class:`~repro.core.detector.DetectorThread` charges for.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.core.quantum import QuantumObservation
+from repro.core.thresholds import ThresholdConfig
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A heuristic's verdict for the next quantum."""
+
+    next_policy: str
+    switched: bool
+    reason: str = ""
+
+
+class Heuristic(abc.ABC):
+    """Base class for Determine_NewPolicy() implementations."""
+
+    #: registry name; subclasses set this.
+    name: str = ""
+    #: decision-code size in DT instructions (see module docstring).
+    cost_instructions: int = 32
+
+    def __init__(self, thresholds: ThresholdConfig | None = None) -> None:
+        self.thresholds = thresholds or ThresholdConfig()
+
+    @abc.abstractmethod
+    def decide(self, incumbent: str, obs: QuantumObservation) -> Decision:
+        """Choose the policy for the next quantum.
+
+        Called only on low-throughput quanta; ``obs`` is the finished
+        quantum's observation and ``incumbent`` the policy that produced it.
+        """
+
+    def record_outcome(self, improved: bool) -> None:
+        """Feedback hook: the quantum after a switch improved or not.
+
+        Only Type 4 uses this (its switching history buffer).
+        """
+
+    def reset(self) -> None:
+        """Clear any internal state between runs."""
+
+    def __repr__(self) -> str:
+        return f"<Heuristic {self.name}>"

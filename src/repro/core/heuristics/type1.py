@@ -1,0 +1,24 @@
+"""Type 1 — fixed two-state transition (Figure 4).
+
+"No status indicators are referenced ... Once a low throughput condition
+has been detected, transition to the other [policy] (either BRCOUNT or
+ICOUNT) will unconditionally be made. Initially, the default fetch policy
+will be ICOUNT." Cheap enough to live in hardware, but blind to *why*
+throughput is low.
+"""
+
+from __future__ import annotations
+
+from repro.core.heuristics.base import Decision, Heuristic
+from repro.core.quantum import QuantumObservation
+
+
+class Type1Heuristic(Heuristic):
+    name = "type1"
+    cost_instructions = 16
+
+    _FLIP = {"icount": "brcount", "brcount": "icount"}
+
+    def decide(self, incumbent: str, obs: QuantumObservation) -> Decision:
+        nxt = self._FLIP.get(incumbent, "icount")
+        return Decision(nxt, switched=nxt != incumbent, reason="type1 unconditional flip")

@@ -1,0 +1,38 @@
+"""Type 2 — fixed three-state cycle (Figure 5).
+
+Like Type 1 but with L1MISSCOUNT added to the finite state machine; the
+transition order is ICOUNT → L1MISSCOUNT → BRCOUNT → ICOUNT → … ("the
+variants based on this scheme can be made by changing the sequence of the
+transitions"), still without consulting any status indicator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.heuristics.base import Decision, Heuristic
+from repro.core.quantum import QuantumObservation
+from repro.core.thresholds import ThresholdConfig
+
+
+class Type2Heuristic(Heuristic):
+    name = "type2"
+    cost_instructions = 24
+
+    def __init__(
+        self,
+        thresholds: ThresholdConfig | None = None,
+        sequence: Sequence[str] = ("icount", "l1misscount", "brcount"),
+    ) -> None:
+        super().__init__(thresholds)
+        if len(sequence) < 2:
+            raise ValueError("Type 2 needs at least two policies in its cycle")
+        self.sequence = tuple(sequence)
+
+    def decide(self, incumbent: str, obs: QuantumObservation) -> Decision:
+        try:
+            idx = self.sequence.index(incumbent)
+        except ValueError:
+            idx = -1  # unknown incumbent: restart the cycle at its head
+        nxt = self.sequence[(idx + 1) % len(self.sequence)]
+        return Decision(nxt, switched=nxt != incumbent, reason="type2 cyclic transition")

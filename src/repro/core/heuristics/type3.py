@@ -1,0 +1,55 @@
+"""Type 3 — condition-directed transitions (Figure 6), and Type 3'
+(gradient-gated Type 3).
+
+From the incumbent policy, the heuristic checks the condition pointing at
+the problem class the incumbent is *not* addressing and moves to the policy
+that addresses it; with no condition indicated it falls back to ICOUNT,
+"which works best on the average". (FSM edges reconstructed from the §4.3.3
+prose; see DESIGN.md §3.)
+
+Type 3' adds the §4.3.3 gradient feature: "Even when low throughput is
+detected, if the throughput is higher than the throughput observed one
+quantum earlier (positive gradient), switching policies is not allowed."
+"""
+
+from __future__ import annotations
+
+from repro.core.heuristics.base import Decision, Heuristic
+from repro.core.quantum import QuantumObservation
+
+
+class Type3Heuristic(Heuristic):
+    name = "type3"
+    cost_instructions = 96
+
+    def decide(self, incumbent: str, obs: QuantumObservation) -> Decision:
+        th = self.thresholds
+        mem = obs.cond_mem(th)
+        br = obs.cond_br(th)
+        if incumbent == "brcount":
+            # BRCOUNT failed: the imbalance is not in branches.
+            nxt = "l1misscount" if mem else "icount"
+            reason = "COND_MEM" if mem else "!COND_MEM fallback"
+        elif incumbent == "l1misscount":
+            nxt = "brcount" if br else "icount"
+            reason = "COND_BR" if br else "!COND_BR fallback"
+        else:  # icount (or anything else): route by whichever condition fires
+            if mem:
+                nxt, reason = "l1misscount", "COND_MEM"
+            elif br:
+                nxt, reason = "brcount", "COND_BR"
+            else:
+                nxt, reason = "icount", "no condition: stay"
+        return Decision(nxt, switched=nxt != incumbent, reason=f"type3 {reason}")
+
+
+class Type3GradientHeuristic(Type3Heuristic):
+    """Type 3' — Type 3 plus the positive-gradient hold."""
+
+    name = "type3g"
+    cost_instructions = 112
+
+    def decide(self, incumbent: str, obs: QuantumObservation) -> Decision:
+        if obs.gradient > 0:
+            return Decision(incumbent, switched=False, reason="positive gradient: hold")
+        return super().decide(incumbent, obs)

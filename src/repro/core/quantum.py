@@ -1,0 +1,76 @@
+"""Per-quantum observation derived from the hardware status counters.
+
+This is the only view of the machine the detector thread's heuristics get:
+aggregate per-cycle event rates over the finished quantum, exactly the
+quantities whose thresholds §4.3.2 calibrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.thresholds import ThresholdConfig
+from repro.smt.counters import QuantumSnapshot
+from repro.smt.stats import QuantumRecord
+
+
+@dataclass(frozen=True)
+class QuantumObservation:
+    """Aggregate rates for one finished scheduling quantum."""
+
+    index: int
+    cycles: int
+    ipc: float
+    prev_ipc: float
+    l1_miss_rate: float
+    lsq_full_rate: float
+    mispredict_rate: float
+    cond_branch_rate: float
+
+    @classmethod
+    def from_snapshots(
+        cls,
+        record: QuantumRecord,
+        snapshots: Sequence[QuantumSnapshot],
+        prev_ipc: float = 0.0,
+    ) -> "QuantumObservation":
+        cycles = max(1, record.cycles)
+        l1_misses = sum(s.l1_misses for s in snapshots)
+        lsq_full = sum(s.lsq_full for s in snapshots)
+        mispredicts = sum(s.mispredicts for s in snapshots)
+        cond_branches = sum(s.cond_branches for s in snapshots)
+        return cls(
+            index=record.index,
+            cycles=cycles,
+            ipc=record.ipc,
+            prev_ipc=prev_ipc,
+            l1_miss_rate=l1_misses / cycles,
+            lsq_full_rate=lsq_full / cycles,
+            mispredict_rate=mispredicts / cycles,
+            cond_branch_rate=cond_branches / cycles,
+        )
+
+    # -- the paper's conditions (§4.3.2) ------------------------------------
+    def low_throughput(self, thresholds: ThresholdConfig) -> bool:
+        """IPC_last < IPC_thold — the low-throughput trigger."""
+        return self.ipc < thresholds.ipc_threshold
+
+    def cond_mem(self, thresholds: ThresholdConfig) -> bool:
+        """True when memory-side imbalance is indicated."""
+        return (
+            self.l1_miss_rate > thresholds.l1_miss_rate
+            or self.lsq_full_rate > thresholds.lsq_full_rate
+        )
+
+    def cond_br(self, thresholds: ThresholdConfig) -> bool:
+        """True when control-side imbalance is indicated."""
+        return (
+            self.mispredict_rate > thresholds.mispredict_rate
+            or self.cond_branch_rate > thresholds.cond_branch_rate
+        )
+
+    @property
+    def gradient(self) -> float:
+        """Throughput gradient vs. the previous quantum (Type 3'/4 input)."""
+        return self.ipc - self.prev_ipc

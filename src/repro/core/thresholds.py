@@ -1,0 +1,63 @@
+"""Threshold configuration for the detector thread's conditions.
+
+The per-metric constants are the paper's (§4.3.2), "determined by
+simulation ... averaged over 13 different mixes": they are configuration,
+not constants, because the paper stresses that the DT management kernel can
+rewrite them as the system drifts (one of the arguments for a programmable
+detector thread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ThresholdConfig:
+    """All detection thresholds.
+
+    Attributes:
+        ipc_threshold: committed IPC below which a quantum is classified
+            low-throughput (the paper sweeps 1..5; best value 2).
+        l1_miss_rate: COND_MEM sub-condition 1 — L1 misses per cycle.
+        lsq_full_rate: COND_MEM sub-condition 2 — LSQ-full events per cycle.
+        mispredict_rate: COND_BR sub-condition 1 — branch mispredictions
+            per cycle.
+        cond_branch_rate: COND_BR sub-condition 2 — conditional branches
+            per cycle.
+
+    Defaults are this simulator's calibration by the paper's own §4.3.2
+    procedure (8-thread runs over the mixes, mean of each metric). For the
+    record, the paper's SimpleSMT constants were 0.19 / 0.45 / 0.02 / 0.38;
+    ours land at 0.16 / 3.2 / 0.033 / 0.39 — the L1 and branch rates agree
+    closely, while the LSQ-full rate differs in units (our counter can fire
+    on every stalled dispatch attempt within a cycle).
+    """
+
+    ipc_threshold: float = 2.0
+    l1_miss_rate: float = 0.16
+    lsq_full_rate: float = 3.2
+    mispredict_rate: float = 0.033
+    cond_branch_rate: float = 0.39
+
+    #: The original SimpleSMT constants from the paper, for reference.
+    PAPER_VALUES = {
+        "l1_miss_rate": 0.19,
+        "lsq_full_rate": 0.45,
+        "mispredict_rate": 0.02,
+        "cond_branch_rate": 0.38,
+    }
+
+    def __post_init__(self) -> None:
+        if self.ipc_threshold < 0:
+            raise ValueError("ipc_threshold must be non-negative")
+        for name in ("l1_miss_rate", "lsq_full_rate", "mispredict_rate", "cond_branch_rate"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def with_ipc_threshold(self, value: float) -> "ThresholdConfig":
+        """The same condition constants with a different IPC threshold
+        (the Figure 7/8 sweep axis)."""
+        from dataclasses import replace
+
+        return replace(self, ipc_threshold=value)

@@ -1,0 +1,40 @@
+"""Experiment harness: runners, sweeps, sampling and report formatting for
+regenerating every table and figure of the paper's evaluation (§5–§6)."""
+
+from repro.harness.runner import RunConfig, RunResult, run_fixed, run_adts, run_mix_average
+from repro.harness.sampling import SampledRunner, SampleSpec
+from repro.harness.sweep import SweepResult, threshold_type_grid
+from repro.harness.report import format_table, format_series, print_table
+from repro.harness.experiments import (
+    ExperimentDefaults,
+    experiment_table1,
+    experiment_fig7,
+    experiment_fig8,
+    experiment_headline,
+    experiment_similarity,
+    experiment_thread_scaling,
+    experiment_detector_overhead,
+)
+
+__all__ = [
+    "RunConfig",
+    "RunResult",
+    "run_fixed",
+    "run_adts",
+    "run_mix_average",
+    "SampledRunner",
+    "SampleSpec",
+    "SweepResult",
+    "threshold_type_grid",
+    "format_table",
+    "format_series",
+    "print_table",
+    "ExperimentDefaults",
+    "experiment_table1",
+    "experiment_fig7",
+    "experiment_fig8",
+    "experiment_headline",
+    "experiment_similarity",
+    "experiment_thread_scaling",
+    "experiment_detector_overhead",
+]

@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro <command> [options]``.
+
+Commands map one-to-one onto the experiment index (DESIGN.md §4):
+
+    run        one simulation (fixed policy or ADTS) on a mix
+    table1     the ten fixed policies, ranked
+    grid       the Figure 7/8 threshold x type sweep (detailed engine)
+    fastgrid   the full 13-mix grid on the fast model
+    headline   ADTS (thr 2, Type 3) vs fixed ICOUNT
+    scaling    throughput vs thread count
+    oracle     the clairvoyant per-quantum upper bound
+    mixes      list the 13 mixes
+    policies   list the Table-1 policies
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.harness.experiments import (
+    ExperimentDefaults,
+    experiment_fig8,
+    experiment_headline,
+    experiment_table1,
+    experiment_thread_scaling,
+    run_grid,
+)
+from repro.harness.report import format_series, format_table
+from repro.harness.runner import RunConfig, run_adts, run_fixed
+from repro.policies.registry import POLICY_NAMES
+from repro.workloads.mixes import MIXES
+
+
+def _defaults(args) -> ExperimentDefaults:
+    return ExperimentDefaults(
+        quantum_cycles=args.quantum,
+        quanta=args.quanta,
+        warmup_quanta=args.warmup,
+        seed=args.seed,
+    )
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--quantum", type=int, default=2048, help="quantum cycles")
+    p.add_argument("--quanta", type=int, default=16, help="measured quanta")
+    p.add_argument("--warmup", type=int, default=4, help="warmup quanta")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="emit JSON")
+
+
+def _emit(args, payload: dict, text: str) -> None:
+    print(json.dumps(payload, indent=2, default=str) if args.json else text)
+
+
+def cmd_run(args) -> None:
+    """`repro run`: one simulation (fixed or ADTS)."""
+    cfg = RunConfig(
+        mix=args.mix, quantum_cycles=args.quantum, quanta=args.quanta,
+        warmup_quanta=args.warmup, seed=args.seed, policy=args.policy,
+    )
+    if args.adts:
+        from repro.core.thresholds import ThresholdConfig
+
+        result = run_adts(cfg, heuristic=args.heuristic,
+                          thresholds=ThresholdConfig(ipc_threshold=args.threshold))
+        text = (f"{args.mix} ADTS({args.heuristic}, thr={args.threshold}): "
+                f"IPC {result.ipc:.3f}, {result.scheduler.get('switches', 0)} switches, "
+                f"P(benign) {result.scheduler.get('benign_probability', 0.0):.2f}")
+    else:
+        result = run_fixed(cfg)
+        text = f"{args.mix} fixed {args.policy}: IPC {result.ipc:.3f}"
+    _emit(args, {"ipc": result.ipc, **result.scheduler}, text)
+
+
+def cmd_table1(args) -> None:
+    """`repro table1`: the ten fixed policies, ranked."""
+    out = experiment_table1(_defaults(args), quick=not args.full)
+    rows = [[r["policy"], r["mean_ipc"]] for r in out["rows"]]
+    _emit(args, out, format_table(["policy", "mean_ipc"], rows, "Table 1"))
+
+
+def cmd_grid(args) -> None:
+    """`repro grid`: the Figure 7/8 sweep on the detailed engine."""
+    defaults = _defaults(args)
+    grid = run_grid(defaults, quick=not args.full)
+    from repro.harness.runner import run_mix_average
+
+    baseline = run_mix_average(grid.mixes, defaults.base_run())["mean_ipc"]
+    out = experiment_fig8(grid, baseline)
+    lines = [f"fixed ICOUNT baseline: {baseline:.3f}"]
+    for h in grid.heuristics:
+        lines.append(format_series(f"IPC[{h}]", grid.thresholds, out["ipc_vs_threshold"][h]))
+        lines.append(format_series(
+            f"switches[{h}]", grid.thresholds, grid.series_switches_vs_threshold(h)))
+    best = out["best_cell"]
+    lines.append(f"best cell: m={best['threshold']:g} {best['heuristic']} "
+                 f"({out['best_improvement_over_icount']:+.1%} vs ICOUNT)")
+    _emit(args, out, "\n".join(lines))
+
+
+def cmd_fastgrid(args) -> None:
+    """`repro fastgrid`: the 13-mix grid on the fast model."""
+    import numpy as np
+
+    from repro.core.thresholds import ThresholdConfig
+    from repro.fastmodel import fast_run_adts, fast_run_fixed
+    from repro.workloads import mix_names
+
+    mixes = mix_names()
+    icount = float(np.mean([
+        fast_run_fixed(m, "icount", quanta=args.fast_quanta).ipc for m in mixes
+    ]))
+    lines = [f"fixed ICOUNT (13-mix mean, fast model): {icount:.3f}"]
+    payload = {"icount": icount, "cells": {}}
+    for h in ("type1", "type2", "type3", "type3g", "type4"):
+        ys = []
+        for m in (1.0, 2.0, 3.0, 4.0, 5.0):
+            runs = [fast_run_adts(mix, h, ThresholdConfig(ipc_threshold=m),
+                                  quanta=args.fast_quanta) for mix in mixes]
+            ipc = float(np.mean([r.ipc for r in runs]))
+            ys.append(ipc)
+            payload["cells"][f"{m:g},{h}"] = ipc
+        lines.append(format_series(f"IPC[{h}]", (1, 2, 3, 4, 5), ys))
+    _emit(args, payload, "\n".join(lines))
+
+
+def cmd_headline(args) -> None:
+    """`repro headline`: ADTS best cell vs fixed ICOUNT."""
+    out = experiment_headline(_defaults(args), quick=not args.full,
+                              threshold=args.threshold, heuristic=args.heuristic)
+    rows = [[m, v["icount_ipc"], v["adts_ipc"], f"{v['improvement']:+.1%}"]
+            for m, v in out["per_mix"].items()]
+    text = format_table(["mix", "icount", "adts", "gain"], rows, "Headline") + \
+        f"\nmean improvement: {out['mean_improvement']:+.2%}"
+    _emit(args, out, text)
+
+
+def cmd_scaling(args) -> None:
+    """`repro scaling`: throughput vs thread count."""
+    out = experiment_thread_scaling(_defaults(args), mix=args.mix)
+    rows = [[r["threads"], r["icount_ipc"], r["adts_ipc"]] for r in out["rows"]]
+    _emit(args, out, format_table(["threads", "icount", "adts"], rows, "Scaling"))
+
+
+def cmd_oracle(args) -> None:
+    """`repro oracle`: clairvoyant per-quantum upper bound."""
+    from repro import build_processor
+    from repro.core.oracle import oracle_upper_bound
+
+    def make():
+        return build_processor(mix=args.mix, seed=args.seed,
+                               quantum_cycles=args.quantum)
+
+    out = oracle_upper_bound(make, quanta=args.quanta)
+    text = (f"oracle {out['oracle_ipc']:.3f} vs fixed ICOUNT "
+            f"{out['fixed_icount_ipc']:.3f} (headroom {out['headroom']:+.2%}); "
+            f"usage {out['policy_usage']}")
+    _emit(args, out, text)
+
+
+def cmd_mixes(args) -> None:
+    """`repro mixes`: list the 13 mixes."""
+    rows = [[m.name, m.int_count, m.fp_count, f"{m.similarity():.2f}", m.description]
+            for m in MIXES]
+    payload = {m.name: {"apps": m.apps, "description": m.description} for m in MIXES}
+    _emit(args, payload,
+          format_table(["mix", "int", "fp", "similarity", "description"], rows))
+
+
+def cmd_policies(args) -> None:
+    """`repro policies`: list the Table-1 policies."""
+    _emit(args, {"policies": POLICY_NAMES}, "\n".join(POLICY_NAMES))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ADTS/SMT reproduction harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="one simulation run")
+    p.add_argument("mix", nargs="?", default="mix07")
+    p.add_argument("--policy", default="icount", choices=POLICY_NAMES)
+    p.add_argument("--adts", action="store_true")
+    p.add_argument("--heuristic", default="type3")
+    p.add_argument("--threshold", type=float, default=2.0)
+    _add_common(p)
+    p.set_defaults(func=cmd_run)
+
+    for name, func, extra in (
+        ("table1", cmd_table1, ()),
+        ("grid", cmd_grid, ()),
+        ("headline", cmd_headline, ("--threshold", "--heuristic")),
+        ("scaling", cmd_scaling, ("mix",)),
+        ("oracle", cmd_oracle, ("mix",)),
+    ):
+        p = sub.add_parser(name, help=f"{name} experiment")
+        if "mix" in extra:
+            p.add_argument("mix", nargs="?", default="mix05")
+        if "--threshold" in extra:
+            p.add_argument("--threshold", type=float, default=2.0)
+            p.add_argument("--heuristic", default="type3")
+        p.add_argument("--full", action="store_true",
+                       help="all 13 mixes (slow) instead of the quick set")
+        _add_common(p)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("fastgrid", help="full grid on the fast model")
+    p.add_argument("--fast-quanta", type=int, default=96)
+    _add_common(p)
+    p.set_defaults(func=cmd_fastgrid)
+
+    for name, func in (("mixes", cmd_mixes), ("policies", cmd_policies)):
+        p = sub.add_parser(name, help=f"list {name}")
+        p.add_argument("--json", action="store_true")
+        p.set_defaults(func=func)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Single-run drivers: one (mix, scheduler) combination → one result."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro import build_processor
+from repro.core.adts import ADTSController
+from repro.core.thresholds import ThresholdConfig
+from repro.smt.config import SMTConfig
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything needed to reproduce one simulation run.
+
+    ``warmup_quanta`` are simulated but excluded from the reported IPC —
+    the stand-in for the paper's fast-forwarding into steady state.
+    """
+
+    mix: Union[str, Sequence[str]] = "mix01"
+    num_threads: int = 8
+    seed: int = 0
+    quantum_cycles: int = 2048
+    quanta: int = 32
+    warmup_quanta: int = 4
+    policy: str = "icount"
+    machine: Optional[SMTConfig] = None
+
+    def total_quanta(self) -> int:
+        """Warmup plus measured quanta."""
+        return self.quanta + self.warmup_quanta
+
+
+@dataclass
+class RunResult:
+    """Outcome of one run (post-warmup window)."""
+
+    config: RunConfig
+    ipc: float
+    committed: int
+    cycles: int
+    quantum_ipcs: List[float] = field(default_factory=list)
+    scheduler: Dict = field(default_factory=dict)
+
+    @property
+    def mean_quantum_ipc(self) -> float:
+        return sum(self.quantum_ipcs) / len(self.quantum_ipcs) if self.quantum_ipcs else 0.0
+
+
+def _measure(proc, cfg: RunConfig, scheduler_summary: Dict) -> RunResult:
+    proc.run_quanta(cfg.warmup_quanta)
+    committed_base = proc.stats.committed
+    cycles_base = proc.now
+    proc.run_quanta(cfg.quanta)
+    committed = proc.stats.committed - committed_base
+    cycles = proc.now - cycles_base
+    window = proc.stats.quantum_history[cfg.warmup_quanta :]
+    return RunResult(
+        config=cfg,
+        ipc=committed / cycles if cycles else 0.0,
+        committed=committed,
+        cycles=cycles,
+        quantum_ipcs=[q.ipc for q in window],
+        scheduler=scheduler_summary,
+    )
+
+
+def run_fixed(cfg: RunConfig) -> RunResult:
+    """Run under the fixed fetch policy named in ``cfg.policy``."""
+    proc = build_processor(
+        mix=cfg.mix,
+        num_threads=cfg.num_threads,
+        seed=cfg.seed,
+        config=cfg.machine,
+        policy=cfg.policy,
+        quantum_cycles=cfg.quantum_cycles,
+    )
+    return _measure(proc, cfg, {"mode": "fixed", "policy": cfg.policy})
+
+
+def run_adts(
+    cfg: RunConfig,
+    heuristic: str = "type3",
+    thresholds: Optional[ThresholdConfig] = None,
+    instant_dt: bool = False,
+) -> RunResult:
+    """Run under ADTS with the given heuristic and thresholds."""
+    controller = ADTSController(
+        heuristic=heuristic, thresholds=thresholds, instant_dt=instant_dt
+    )
+    proc = build_processor(
+        mix=cfg.mix,
+        num_threads=cfg.num_threads,
+        seed=cfg.seed,
+        config=cfg.machine,
+        policy="icount",  # ADTS's initial/default policy (§4.3.3)
+        hook=controller,
+        quantum_cycles=cfg.quantum_cycles,
+    )
+    result = _measure(proc, cfg, {"mode": "adts", "heuristic": heuristic})
+    result.scheduler.update(controller.summary())
+    return result
+
+
+def run_mix_average(
+    mixes: Sequence[str],
+    base: RunConfig,
+    heuristic: Optional[str] = None,
+    thresholds: Optional[ThresholdConfig] = None,
+) -> Dict:
+    """Average a configuration over several mixes (the paper reports
+    'Average for All Combinations'). Fixed policy when ``heuristic`` is
+    None, else ADTS."""
+    ipcs: List[float] = []
+    switches = 0
+    benign_events = 0
+    judged_events = 0
+    for mix in mixes:
+        cfg = replace(base, mix=mix)
+        if heuristic is None:
+            result = run_fixed(cfg)
+        else:
+            result = run_adts(cfg, heuristic=heuristic, thresholds=thresholds)
+            switches += result.scheduler.get("switches", 0)
+            p = result.scheduler.get("benign_probability", 0.0)
+            n = result.scheduler.get("switches", 0)
+            benign_events += p * n
+            judged_events += n
+        ipcs.append(result.ipc)
+    return {
+        "mean_ipc": sum(ipcs) / len(ipcs) if ipcs else 0.0,
+        "per_mix_ipc": dict(zip(mixes, ipcs)),
+        "switches": switches,
+        "benign_probability": benign_events / judged_events if judged_events else 0.0,
+    }

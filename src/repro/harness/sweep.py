@@ -1,0 +1,94 @@
+"""The Figure 7/8 parameter grid: IPC threshold × heuristic type.
+
+One grid run produces everything both figures plot — per-cell mean IPC
+(Fig 8), switch counts (Fig 7 a/b) and benign-switch probability
+(Fig 7 c/d) — so the benchmarks share a single sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.thresholds import ThresholdConfig
+from repro.harness.runner import RunConfig, run_adts
+
+Cell = Tuple[float, str]  # (ipc_threshold, heuristic)
+
+
+@dataclass
+class SweepResult:
+    """Results of a threshold × type grid over a set of mixes."""
+
+    thresholds: List[float]
+    heuristics: List[str]
+    mixes: List[str]
+    #: (threshold, heuristic) -> mean aggregate IPC over mixes
+    ipc: Dict[Cell, float] = field(default_factory=dict)
+    #: (threshold, heuristic) -> total switches over mixes
+    switches: Dict[Cell, int] = field(default_factory=dict)
+    #: (threshold, heuristic) -> P(benign switch), switch-weighted
+    benign: Dict[Cell, float] = field(default_factory=dict)
+    #: (threshold, heuristic, mix) -> per-mix IPC
+    per_mix_ipc: Dict[Tuple[float, str, str], float] = field(default_factory=dict)
+
+    def series_ipc_vs_threshold(self, heuristic: str) -> List[float]:
+        """Fig 8(a)/(c): IPC as a function of the threshold, one type."""
+        return [self.ipc[(m, heuristic)] for m in self.thresholds]
+
+    def series_ipc_vs_type(self, threshold: float) -> List[float]:
+        """Fig 8(b)/(d): IPC as a function of the type, one threshold."""
+        return [self.ipc[(threshold, h)] for h in self.heuristics]
+
+    def series_switches_vs_threshold(self, heuristic: str) -> List[int]:
+        """Fig 7(a)."""
+        return [self.switches[(m, heuristic)] for m in self.thresholds]
+
+    def series_switches_vs_type(self, threshold: float) -> List[int]:
+        """Fig 7(b)."""
+        return [self.switches[(threshold, h)] for h in self.heuristics]
+
+    def series_benign_vs_threshold(self, heuristic: str) -> List[float]:
+        """Fig 7(c)."""
+        return [self.benign[(m, heuristic)] for m in self.thresholds]
+
+    def series_benign_vs_type(self, threshold: float) -> List[float]:
+        """Fig 7(d)."""
+        return [self.benign[(threshold, h)] for h in self.heuristics]
+
+    def best_cell(self) -> Cell:
+        """The (threshold, type) with the highest mean IPC — the paper's
+        'threshold 2, Type 3' claim."""
+        return max(self.ipc, key=self.ipc.get)
+
+
+def threshold_type_grid(
+    base: RunConfig,
+    mixes: Sequence[str],
+    thresholds: Sequence[float] = (1.0, 2.0, 3.0, 4.0, 5.0),
+    heuristics: Sequence[str] = ("type1", "type2", "type3", "type3g", "type4"),
+) -> SweepResult:
+    """Run the full grid. Cost = len(thresholds) x len(heuristics) x
+    len(mixes) simulations of ``base.total_quanta()`` quanta each."""
+    result = SweepResult(
+        thresholds=list(thresholds), heuristics=list(heuristics), mixes=list(mixes)
+    )
+    for m in thresholds:
+        th = ThresholdConfig(ipc_threshold=m)
+        for h in heuristics:
+            ipcs: List[float] = []
+            total_switches = 0
+            benign_weighted = 0.0
+            for mix in mixes:
+                r = run_adts(replace(base, mix=mix), heuristic=h, thresholds=th)
+                ipcs.append(r.ipc)
+                result.per_mix_ipc[(m, h, mix)] = r.ipc
+                n = r.scheduler.get("switches", 0)
+                total_switches += n
+                benign_weighted += r.scheduler.get("benign_probability", 0.0) * n
+            result.ipc[(m, h)] = sum(ipcs) / len(ipcs)
+            result.switches[(m, h)] = total_switches
+            result.benign[(m, h)] = (
+                benign_weighted / total_switches if total_switches else 0.0
+            )
+    return result

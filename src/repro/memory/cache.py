@@ -1,0 +1,171 @@
+"""Set-associative cache with true-LRU replacement.
+
+Tag state lives in NumPy arrays (one row per set, one column per way) so a
+full reset is vectorized and a probe touches a single small row — this is
+the hot path of the memory hierarchy, called once per load/store/ifetch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_INVALID = np.int64(-1)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    Attributes:
+        size_bytes: total capacity.
+        line_bytes: block size (must be a power of two).
+        ways: associativity.
+        name: label used in stats and error messages.
+    """
+
+    size_bytes: int
+    line_bytes: int = 64
+    ways: int = 4
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.ways <= 0:
+            raise ValueError(f"{self.name}: all geometry fields must be positive")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(f"{self.name}: line_bytes must be a power of two")
+        if self.size_bytes % (self.line_bytes * self.ways):
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"line_bytes*ways = {self.line_bytes * self.ways}"
+            )
+        n_sets = self.size_bytes // (self.line_bytes * self.ways)
+        if n_sets & (n_sets - 1):
+            raise ValueError(f"{self.name}: number of sets ({n_sets}) must be a power of two")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+    @property
+    def offset_bits(self) -> int:
+        return int(self.line_bytes).bit_length() - 1
+
+
+class Cache:
+    """A single cache level.
+
+    Probe/fill are separated so callers can model MSHR behaviour (probe,
+    and only fill once the miss completes), but the common fast path is
+    :meth:`access`, which probes and fills in one call and returns whether
+    the access hit.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._set_mask = config.n_sets - 1
+        self._offset_bits = config.offset_bits
+        # tags[set, way]; -1 == invalid. lru[set, way]: higher == more recent.
+        self._tags = np.full((config.n_sets, config.ways), _INVALID, dtype=np.int64)
+        self._lru = np.zeros((config.n_sets, config.ways), dtype=np.int64)
+        self._stamp = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- address helpers ---------------------------------------------------
+    def line_of(self, addr: int) -> int:
+        """Line number (address with the offset bits stripped)."""
+        return addr >> self._offset_bits
+
+    def _index(self, line: int) -> int:
+        return line & self._set_mask
+
+    # -- operations ---------------------------------------------------------
+    def probe(self, addr: int) -> bool:
+        """Return True on hit, updating LRU but never filling."""
+        line = addr >> self._offset_bits
+        row = self._tags[line & self._set_mask]
+        hit_ways = np.nonzero(row == line)[0]
+        if hit_ways.size:
+            self._stamp += 1
+            self._lru[line & self._set_mask, hit_ways[0]] = self._stamp
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, addr: int) -> int:
+        """Insert the line for ``addr``; return the evicted line or -1.
+
+        Filling an already-present line just refreshes its LRU stamp.
+        """
+        line = addr >> self._offset_bits
+        idx = line & self._set_mask
+        row = self._tags[idx]
+        self._stamp += 1
+        hit_ways = np.nonzero(row == line)[0]
+        if hit_ways.size:
+            self._lru[idx, hit_ways[0]] = self._stamp
+            return -1
+        empty = np.nonzero(row == _INVALID)[0]
+        if empty.size:
+            way = int(empty[0])
+            victim = -1
+        else:
+            way = int(np.argmin(self._lru[idx]))
+            victim = int(row[way])
+            self.evictions += 1
+        row[way] = line
+        self._lru[idx, way] = self._stamp
+        return victim
+
+    def access(self, addr: int) -> bool:
+        """Probe and fill-on-miss in one step. Returns True on hit."""
+        if self.probe(addr):
+            return True
+        self.fill(addr)
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Non-destructive lookup: no LRU update, no stats."""
+        line = addr >> self._offset_bits
+        return bool(np.any(self._tags[line & self._set_mask] == line))
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line holding ``addr`` if present; return True if dropped."""
+        line = addr >> self._offset_bits
+        idx = line & self._set_mask
+        hit_ways = np.nonzero(self._tags[idx] == line)[0]
+        if not hit_ways.size:
+            return False
+        self._tags[idx, hit_ways[0]] = _INVALID
+        self._lru[idx, hit_ways[0]] = 0
+        return True
+
+    def reset(self) -> None:
+        """Flush all contents and statistics."""
+        self._tags.fill(_INVALID)
+        self._lru.fill(0)
+        self._stamp = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return int(np.count_nonzero(self._tags != _INVALID))
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        c = self.config
+        return (
+            f"Cache({c.name}: {c.size_bytes}B {c.ways}-way {c.line_bytes}B lines, "
+            f"{self.hits} hits / {self.misses} misses)"
+        )

@@ -1,0 +1,75 @@
+"""Miss Status Holding Registers.
+
+Models miss-under-miss: outstanding misses to the *same* line coalesce into
+one entry (secondary misses pay no extra memory trip); a full MSHR file
+makes further misses stall, which is one of the "clogging" behaviours the
+detector thread is designed to observe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class MSHRFile:
+    """Fixed-capacity table of outstanding miss lines.
+
+    Entries are keyed by line number and record the cycle at which the miss
+    completes. The owner calls :meth:`retire_ready` each cycle (or lazily)
+    to free completed entries.
+    """
+
+    def __init__(self, capacity: int, name: str = "mshr") -> None:
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._entries: Dict[int, int] = {}  # line -> completion cycle
+        self.allocations = 0
+        self.coalesced = 0
+        self.full_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, line: int) -> int:
+        """Completion cycle of an outstanding miss to ``line``, or -1."""
+        return self._entries.get(line, -1)
+
+    def allocate(self, line: int, complete_cycle: int) -> int:
+        """Register a miss to ``line`` completing at ``complete_cycle``.
+
+        Returns the completion cycle actually associated with the line:
+        if the line is already outstanding the existing (earlier or equal)
+        completion time is returned and the miss counts as coalesced.
+        Raises ``RuntimeError`` if the file is full and the line is new —
+        callers must check :attr:`full` first and model the stall.
+        """
+        existing = self._entries.get(line)
+        if existing is not None:
+            self.coalesced += 1
+            return existing
+        if len(self._entries) >= self.capacity:
+            self.full_stalls += 1
+            raise RuntimeError(f"{self.name} full")
+        self._entries[line] = complete_cycle
+        self.allocations += 1
+        return complete_cycle
+
+    def retire_ready(self, now: int) -> List[int]:
+        """Free and return all lines whose miss completed by cycle ``now``."""
+        done = [line for line, t in self._entries.items() if t <= now]
+        for line in done:
+            del self._entries[line]
+        return done
+
+    def reset(self) -> None:
+        """Drop all outstanding entries and statistics."""
+        self._entries.clear()
+        self.allocations = 0
+        self.coalesced = 0
+        self.full_stalls = 0

@@ -1,0 +1,16 @@
+"""ACCIPC — prioritize threads with the highest accumulated IPC
+(paper's addition): threads that historically drain the pipeline fastest
+get fetch slots first, maximizing raw throughput at some fairness cost."""
+
+from __future__ import annotations
+
+from repro.policies.base import FetchPolicy
+from repro.smt.counters import CounterBank
+
+
+class AccIPCPolicy(FetchPolicy):
+    name = "accipc"
+
+    def key(self, tid: int, counters: CounterBank) -> float:
+        # Higher accumulated IPC => lower key => fetched first.
+        return -counters[tid].accumulated_ipc

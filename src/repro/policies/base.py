@@ -1,0 +1,49 @@
+"""Fetch-policy interface.
+
+A policy assigns each runnable thread a *key* from its live hardware
+counters; **lower key = higher fetch priority**. The TSU sorts candidate
+threads by ``(key, tie_breaker)`` each cycle. Keys read only
+:class:`~repro.smt.counters.ThreadCounters` — the same restriction the
+paper's hardware thread-selection units have.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+from repro.smt.counters import CounterBank
+
+
+class FetchPolicy(abc.ABC):
+    """Ranks hardware contexts for instruction fetch."""
+
+    #: Registry name; subclasses must set this.
+    name: str = ""
+
+    def __init__(self) -> None:
+        if not self.name:
+            raise TypeError(f"{type(self).__name__} must define a registry name")
+        self._rotation = 0
+
+    @abc.abstractmethod
+    def key(self, tid: int, counters: CounterBank) -> float:
+        """Priority key for thread ``tid`` (lower fetches first)."""
+
+    def rank(self, candidates: Sequence[int], counters: CounterBank) -> List[int]:
+        """Candidates sorted best-first.
+
+        Ties break by a rotating offset so equal-key threads share fetch
+        bandwidth fairly instead of starving the higher-numbered contexts
+        (matches the round-robin tie-break in SimpleSMT).
+        """
+        n = len(counters)
+        self._rotation = (self._rotation + 1) % max(1, n)
+        rot = self._rotation
+        return sorted(candidates, key=lambda t: (self.key(t, counters), (t + rot) % n))
+
+    def on_quantum_boundary(self) -> None:
+        """Hook for policies with per-quantum state (default: none)."""
+
+    def __repr__(self) -> str:
+        return f"<FetchPolicy {self.name}>"

@@ -1,0 +1,20 @@
+"""BRCOUNT — deprioritize threads with many unresolved branches.
+
+Threads with the most in-flight (not yet resolved) conditional branches are
+the ones most likely to be filling the pipeline with wrong-path
+instructions; fetching them last limits wrong-path waste (paper §1's
+motivating scenario: four control-intensive applications in a storm of
+mispredictions starving the other four threads).
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import FetchPolicy
+from repro.smt.counters import CounterBank
+
+
+class BRCountPolicy(FetchPolicy):
+    name = "brcount"
+
+    def key(self, tid: int, counters: CounterBank) -> float:
+        return counters[tid].in_flight_branches

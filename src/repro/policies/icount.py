@@ -1,0 +1,19 @@
+"""ICOUNT — Tullsen et al.'s best-on-average policy.
+
+Gives priority to the threads with the fewest instructions in the decode
+and rename stages and the instruction queues, producing balanced window use
+and favouring threads that drain quickly (paper §1). This is the paper's
+baseline *and* the default/fallback state of every ADTS heuristic.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import FetchPolicy
+from repro.smt.counters import CounterBank
+
+
+class ICountPolicy(FetchPolicy):
+    name = "icount"
+
+    def key(self, tid: int, counters: CounterBank) -> float:
+        return counters[tid].icount

@@ -1,0 +1,39 @@
+"""The cache-miss family: L1MISSCOUNT, L1IMISSCOUNT, L1DMISSCOUNT.
+
+L1DMISSCOUNT is Tullsen's MISSCOUNT (deprioritize threads with outstanding
+D-cache misses — they will clog the IQ with dependents that cannot issue);
+the paper adds the instruction-side and combined variants "to have a closer
+look at the effect of the caches" (§5).
+
+Outstanding I-cache misses do not accumulate per thread the way D-misses do
+(the thread simply cannot fetch), so the I-side signal is an exponentially
+decayed recent-miss count, which is what a small hardware leaky counter
+would provide.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import FetchPolicy
+from repro.smt.counters import CounterBank
+
+
+class L1DMissCountPolicy(FetchPolicy):
+    name = "l1dmisscount"
+
+    def key(self, tid: int, counters: CounterBank) -> float:
+        return counters[tid].outstanding_l1d_misses
+
+
+class L1IMissCountPolicy(FetchPolicy):
+    name = "l1imisscount"
+
+    def key(self, tid: int, counters: CounterBank) -> float:
+        return counters[tid].recent_l1i_misses
+
+
+class L1MissCountPolicy(FetchPolicy):
+    name = "l1misscount"
+
+    def key(self, tid: int, counters: CounterBank) -> float:
+        c = counters[tid]
+        return c.outstanding_l1d_misses + c.recent_l1i_misses

@@ -1,0 +1,13 @@
+"""LDCOUNT — deprioritize threads with many in-flight loads (paper's addition)."""
+
+from __future__ import annotations
+
+from repro.policies.base import FetchPolicy
+from repro.smt.counters import CounterBank
+
+
+class LDCountPolicy(FetchPolicy):
+    name = "ldcount"
+
+    def key(self, tid: int, counters: CounterBank) -> float:
+        return counters[tid].in_flight_loads

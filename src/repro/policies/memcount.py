@@ -1,0 +1,14 @@
+"""MEMCOUNT — deprioritize threads with many in-flight memory accesses
+(loads + stores; paper's addition)."""
+
+from __future__ import annotations
+
+from repro.policies.base import FetchPolicy
+from repro.smt.counters import CounterBank
+
+
+class MemCountPolicy(FetchPolicy):
+    name = "memcount"
+
+    def key(self, tid: int, counters: CounterBank) -> float:
+        return counters[tid].in_flight_mem

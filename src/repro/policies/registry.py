@@ -1,0 +1,56 @@
+"""Name-based policy construction (used by ADTS heuristics and the CLI-ish
+harness, which deal in policy *names* exactly as the detector thread's
+software would)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.policies.base import FetchPolicy
+
+
+def _registry() -> Dict[str, Type[FetchPolicy]]:
+    from repro.policies.accipc import AccIPCPolicy
+    from repro.policies.brcount import BRCountPolicy
+    from repro.policies.icount import ICountPolicy
+    from repro.policies.l1miss import (
+        L1DMissCountPolicy,
+        L1IMissCountPolicy,
+        L1MissCountPolicy,
+    )
+    from repro.policies.ldcount import LDCountPolicy
+    from repro.policies.memcount import MemCountPolicy
+    from repro.policies.roundrobin import RoundRobinPolicy
+    from repro.policies.stallcount import StallCountPolicy
+
+    classes = [
+        ICountPolicy,
+        BRCountPolicy,
+        LDCountPolicy,
+        MemCountPolicy,
+        L1MissCountPolicy,
+        L1IMissCountPolicy,
+        L1DMissCountPolicy,
+        AccIPCPolicy,
+        StallCountPolicy,
+        RoundRobinPolicy,
+    ]
+    return {cls.name: cls for cls in classes}
+
+
+#: The ten policy names of Table 1, in table order.
+POLICY_NAMES: List[str] = list(_registry().keys())
+
+
+def policy_class(name: str) -> Type[FetchPolicy]:
+    """The policy class registered under ``name``."""
+    table = _registry()
+    try:
+        return table[name]
+    except KeyError:
+        raise KeyError(f"unknown fetch policy {name!r}; known: {sorted(table)}") from None
+
+
+def create_policy(name: str) -> FetchPolicy:
+    """Instantiate a fresh policy by name."""
+    return policy_class(name)()

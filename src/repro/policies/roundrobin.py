@@ -1,0 +1,28 @@
+"""RR — round-robin fetch (Tullsen's baseline; also the paper's 'oblivious'
+job-scheduling analogue at the fetch level)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.policies.base import FetchPolicy
+from repro.smt.counters import CounterBank
+
+
+class RoundRobinPolicy(FetchPolicy):
+    name = "rr"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next = 0
+
+    def key(self, tid: int, counters: CounterBank) -> float:
+        # Distance from the rotation head; pure rotation, no feedback.
+        n = max(1, len(counters))
+        return (tid - self._next) % n
+
+    def rank(self, candidates: Sequence[int], counters: CounterBank) -> List[int]:
+        ranked = sorted(candidates, key=lambda t: self.key(t, counters))
+        if ranked:
+            self._next = (ranked[0] + 1) % max(1, len(counters))
+        return ranked

@@ -1,0 +1,14 @@
+"""STALLCOUNT — deprioritize threads that recently incurred pipeline stalls
+(paper's addition). The signal is a leaky per-thread stall counter."""
+
+from __future__ import annotations
+
+from repro.policies.base import FetchPolicy
+from repro.smt.counters import CounterBank
+
+
+class StallCountPolicy(FetchPolicy):
+    name = "stallcount"
+
+    def key(self, tid: int, counters: CounterBank) -> float:
+        return counters[tid].recent_stalls

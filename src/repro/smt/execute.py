@@ -1,0 +1,92 @@
+"""Execution resources: functional-unit pool and the completion heap."""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+from repro.smt.instruction import (
+    BRANCH,
+    FADD,
+    FDIV,
+    FMUL,
+    IALU,
+    IMUL,
+    LOAD,
+    STORE,
+    SYSCALL,
+    Instruction,
+)
+
+_FP = (FADD, FMUL, FDIV)
+
+
+class FunctionalUnitPool:
+    """Per-cycle issue-port accounting.
+
+    Units are fully pipelined (SimpleScalar default), so only *issue slots*
+    per cycle are limited: ``int_units`` integer issues of which at most
+    ``mem_ports`` may be memory operations, and ``fp_units`` FP issues.
+    """
+
+    def __init__(self, int_units: int, mem_ports: int, fp_units: int) -> None:
+        self.int_units = int_units
+        self.mem_ports = mem_ports
+        self.fp_units = fp_units
+        self._int_used = 0
+        self._mem_used = 0
+        self._fp_used = 0
+
+    def new_cycle(self) -> None:
+        """Reset the per-cycle issue-slot counters."""
+        self._int_used = 0
+        self._mem_used = 0
+        self._fp_used = 0
+
+    def try_claim(self, kind: int) -> bool:
+        """Claim an issue slot for an op of class ``kind``; False if none."""
+        if kind in _FP:
+            if self._fp_used >= self.fp_units:
+                return False
+            self._fp_used += 1
+            return True
+        if kind in (LOAD, STORE):
+            if self._mem_used >= self.mem_ports or self._int_used >= self.int_units:
+                return False
+            self._mem_used += 1
+            self._int_used += 1
+            return True
+        # IALU / IMUL / BRANCH / SYSCALL use integer issue slots.
+        if self._int_used >= self.int_units:
+            return False
+        self._int_used += 1
+        return True
+
+
+class CompletionHeap:
+    """Min-heap of (complete_cycle, tiebreak, instruction)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Instruction]] = []
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, instr: Instruction, complete_cycle: int) -> None:
+        """Queue ``instr`` to complete at ``complete_cycle``."""
+        instr.complete_cycle = complete_cycle
+        self._counter += 1
+        heapq.heappush(self._heap, (complete_cycle, self._counter, instr))
+
+    def pop_ready(self, now: int) -> List[Instruction]:
+        """All instructions completing at or before ``now``, oldest first."""
+        ready: List[Instruction] = []
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            ready.append(heapq.heappop(heap)[2])
+        return ready
+
+    def clear(self) -> None:
+        """Drop all pending completions."""
+        self._heap.clear()

@@ -1,0 +1,745 @@
+"""The SMT processor: cycle-driven pipeline model.
+
+Per-cycle phase order is the classic reverse-pipeline walk (commit first,
+fetch last) so data never flows through more than one stage per cycle:
+
+1. **commit** — per-thread ROB heads, shared commit width;
+2. **complete** — pop the completion heap; resolve branches (trigger
+   wrong-path squash) and wake dependents;
+3. **issue** — scan the int/FP queues oldest-first for ready instructions,
+   bounded by issue width and functional-unit ports; loads/stores probe the
+   shared memory hierarchy;
+4. **dispatch** — drain the front-end delay line into IQ/LSQ/ROB, stalling
+   (and counting stall events) on full structures;
+5. **fetch** — the Thread Selection Unit ranks fetchable contexts with the
+   active fetch policy and fetches up to ``fetch_width`` instructions from
+   up to ``fetch_threads_per_cycle`` threads, stopping each thread at a
+   cache-block boundary (paper §5); leftover slots are offered to the
+   scheduler hook (the detector thread).
+
+Wrong-path modeling: a conditional branch that the shared predictor
+mispredicts puts its thread into *wrong-path mode*; subsequent fetch cycles
+for that thread produce junk instructions that consume fetch slots, IQ
+entries and issue bandwidth until the branch executes, at which point the
+junk is squashed and fetch redirects. This wasted-slot behaviour is the
+phenomenon BRCOUNT-style policies (and hence ADTS) exist to manage.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.gshare import GsharePredictor
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.policies.base import FetchPolicy
+from repro.policies.registry import create_policy
+from repro.smt.config import DEFAULT_LATENCIES, SMTConfig
+from repro.smt.context import ThreadContext
+from repro.smt.counters import CounterBank
+from repro.smt.execute import CompletionHeap, FunctionalUnitPool
+from repro.smt.instruction import (
+    BRANCH,
+    IALU,
+    LOAD,
+    STORE,
+    SYSCALL,
+    Instruction,
+)
+from repro.smt.queues import InstructionQueue, LoadStoreQueue
+from repro.smt.regfile import RenameRegisterPool, needs_register
+from repro.smt.stats import QuantumRecord, SimStats
+
+# Instruction.loc encoding (where the instruction currently lives).
+_LOC_FRONT = 0
+_LOC_IQ = 1
+_LOC_EXEC = 2
+_LOC_DONE = 3
+
+_LINE_SHIFT = 6  # 64-byte fetch blocks
+
+
+class SchedulerHook:
+    """Interface through which ADTS (or any scheduler) observes the machine.
+
+    The default implementation is inert — a fixed-policy processor.
+    """
+
+    def attach(self, processor: "SMTProcessor") -> None:
+        """Called once when the hook is installed."""
+
+    def on_cycle(self, now: int, idle_slots: int) -> int:
+        """Called every cycle with the number of unused fetch slots.
+
+        Returns the number of slots the hook consumed (detector-thread
+        instructions executed this cycle).
+        """
+        return 0
+
+    def on_quantum_end(self, now: int, record: QuantumRecord, snapshots) -> None:
+        """Called at each scheduling-quantum boundary."""
+
+
+class SMTProcessor:
+    """An SMT processor executing one synthetic trace per hardware context."""
+
+    def __init__(
+        self,
+        config: SMTConfig,
+        traces: Sequence,
+        policy: str | FetchPolicy = "icount",
+        hook: Optional[SchedulerHook] = None,
+        quantum_cycles: int = 8192,
+        seed: int = 0,
+        tracer=None,
+    ) -> None:
+        if len(traces) > config.num_threads:
+            raise ValueError(
+                f"{len(traces)} traces for {config.num_threads} hardware contexts"
+            )
+        if quantum_cycles <= 0:
+            raise ValueError("quantum_cycles must be positive")
+        self.config = config
+        self.quantum_cycles = quantum_cycles
+        self.num_threads = len(traces)
+        self.contexts: List[ThreadContext] = [
+            ThreadContext(t, trace) for t, trace in enumerate(traces)
+        ]
+        self.counters = CounterBank(self.num_threads)
+        prefetcher = None
+        if config.prefetcher == "nextline":
+            from repro.memory.prefetch import NextLinePrefetcher
+
+            prefetcher = NextLinePrefetcher()
+        elif config.prefetcher == "stride":
+            from repro.memory.prefetch import StridePrefetcher
+
+            prefetcher = StridePrefetcher()
+        self.hierarchy = MemoryHierarchy(config.hierarchy, prefetcher=prefetcher)
+        from repro.branch import create_predictor
+
+        self.predictor = create_predictor(
+            config.predictor, config.predictor_entries, max_threads=self.num_threads
+        )
+        self.btb = BranchTargetBuffer(config.btb_entries)
+        self.iq_int = InstructionQueue(config.int_iq_entries, "int")
+        self.iq_fp = InstructionQueue(config.fp_iq_entries, "fp")
+        self.lsq = LoadStoreQueue(config.lsq_entries)
+        self.lsq.reset_threads(self.num_threads)
+        self.regs = RenameRegisterPool(config.rename_registers)
+        self.regs.reset_threads(self.num_threads)
+        self.fus = FunctionalUnitPool(config.int_units, config.mem_ports, config.fp_units)
+        self.completions = CompletionHeap()
+        # Front-end delay line, per thread (squash is per-thread) but with
+        # *shared* capacity (see SMTConfig.fetch_buffer_entries).
+        self._front_latency = max(1, config.front_end_stages - 1)
+        self.front_q: List[Deque] = [deque() for _ in range(self.num_threads)]
+        self._front_total = 0
+        self.policy: FetchPolicy = (
+            policy if isinstance(policy, FetchPolicy) else create_policy(policy)
+        )
+        self.hook = hook or SchedulerHook()
+        self.hook.attach(self)
+        self.stats = SimStats()
+        self.now = 0
+        self._commit_rotation = 0
+        self._quantum_index = 0
+        self._quantum_start_cycle = 0
+        self._quantum_committed_base = 0
+        self._drain_tid: Optional[int] = None  # syscall draining the pipe
+        self._latencies: Dict[int, int] = dict(DEFAULT_LATENCIES)
+        # (complete_cycle, tid) pairs for decrementing the outstanding
+        # L1D-miss gauge when a miss's fill arrives.
+        self._pending_miss_clear: List = []
+        # Wrong-path instruction synthesis (kinds/waits/pollution addresses).
+        self._wp_rng = random.Random(0x5EED ^ seed)
+        #: optional PipelineTracer observing instruction lifecycles.
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def set_policy(self, policy: str | FetchPolicy) -> None:
+        """Switch the active fetch policy (ADTS's Policy_Switch())."""
+        self.policy = policy if isinstance(policy, FetchPolicy) else create_policy(policy)
+
+    @property
+    def policy_name(self) -> str:
+        return self.policy.name
+
+    def run(self, cycles: int) -> SimStats:
+        """Advance the machine ``cycles`` cycles; returns the stats object."""
+        for _ in range(cycles):
+            self.step()
+        return self.stats
+
+    def run_quanta(self, quanta: int) -> SimStats:
+        """Advance a whole number of scheduling quanta."""
+        return self.run(quanta * self.quantum_cycles)
+
+    def swap_thread(self, tid: int, new_trace, switch_penalty: int = 200) -> None:
+        """Context-switch hardware context ``tid`` to a different software
+        thread (the job scheduler's action, §3).
+
+        In-flight instructions of the outgoing thread are dropped (the OS
+        discards pipeline state on a context switch; the handful of lost
+        in-flight instructions is below the abstraction level of the trace
+        model). The outgoing trace object keeps its position, so a swapped-
+        out job can be swapped back in later and resume. Fetch restarts
+        after ``switch_penalty`` cycles of context-switch cost.
+        """
+        ctx = self.contexts[tid]
+        tc = self.counters[tid]
+        # 1. Drop the front-end contents.
+        fq = self.front_q[tid]
+        while fq:
+            instr, _ready = fq.pop()
+            instr.squashed = True
+            tc.front_end -= 1
+            self._front_total -= 1
+            if instr.kind == BRANCH and instr.cond:
+                tc.in_flight_branches -= 1
+        # 2. Drop the ROB (covers IQ-resident and executing instructions).
+        rob = ctx.rob
+        while rob:
+            instr = rob.pop()
+            instr.squashed = True
+            tc.rob -= 1
+            if not instr.issued:
+                if instr.is_fp:
+                    tc.iq_fp -= 1
+                else:
+                    tc.iq_int -= 1
+            kind = instr.kind
+            if needs_register(kind):
+                self.regs.release(tid)
+            if kind == LOAD or kind == STORE:
+                self.lsq.release(tid)
+                tc.lsq -= 1
+                tc.in_flight_mem -= 1
+                if kind == LOAD:
+                    tc.in_flight_loads -= 1
+            elif kind == BRANCH and instr.cond and not instr.completed:
+                tc.in_flight_branches -= 1
+            if kind == SYSCALL and self._drain_tid == tid:
+                self._drain_tid = None
+        # 3. Clear pending per-thread machine state.
+        ctx.pending = None
+        ctx.wrong_path = False
+        ctx.wp_branch_seq = -1
+        ctx.syscall_waiting = False
+        ctx.suspended = False
+        ctx.done_set.clear()
+        tc.outstanding_l1d_misses = 0
+        self._pending_miss_clear = [
+            (cycle, t) for cycle, t in self._pending_miss_clear if t != tid
+        ]
+        tc.recent_l1i_misses = 0.0
+        tc.recent_stalls = 0.0
+        # 4. Bind the incoming thread. Its pre-swap instructions count as
+        # architecturally complete (the OS restored its register state).
+        ctx.trace = new_trace
+        ctx.done_upto = new_trace.seq - 1
+        ctx.block_fetch_until(self.now + max(1, switch_penalty))
+
+    # ------------------------------------------------------------------
+    # Cycle loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the machine one cycle (see the module docstring for
+        the phase order)."""
+        now = self.now
+        self._commit(now)
+        self._complete(now)
+        self._drain_miss_gauges(now)
+        self._syscall_drain_check(now)
+        self._issue(now)
+        self._dispatch(now)
+        idle = self._fetch(now)
+        consumed = self.hook.on_cycle(now, idle)
+        self.stats.idle_fetch_slots += idle - consumed
+        self.stats.detector_slots_consumed += consumed
+        self.hierarchy.tick(now)
+        counters = self.counters
+        counters.decay_all()
+        for t in counters:
+            t.active_cycles += 1
+        self.now = now + 1
+        self.stats.cycles = self.now
+        if self.now - self._quantum_start_cycle >= self.quantum_cycles:
+            self._end_quantum()
+
+    # -- commit -----------------------------------------------------------
+    def _commit(self, now: int) -> None:
+        budget = self.config.commit_width
+        n = self.num_threads
+        self._commit_rotation = (self._commit_rotation + 1) % n
+        stats = self.stats
+        for i in range(n):
+            if budget <= 0:
+                break
+            tid = (self._commit_rotation + i) % n
+            ctx = self.contexts[tid]
+            rob = ctx.rob
+            tc = self.counters[tid]
+            while budget > 0 and rob:
+                head = rob[0]
+                if head.squashed:
+                    # Should have been removed at squash; defensive.
+                    rob.popleft()
+                    continue
+                if not head.completed:
+                    break
+                rob.popleft()
+                budget -= 1
+                tc.rob -= 1
+                if self.tracer:
+                    self.tracer.record(now, "commit", head)
+                kind = head.kind
+                if needs_register(kind):
+                    self.regs.release(tid)
+                if kind == LOAD or kind == STORE:
+                    self.lsq.release(tid)
+                    tc.lsq -= 1
+                    tc.in_flight_mem -= 1
+                    if kind == LOAD:
+                        tc.in_flight_loads -= 1
+                tc.q_committed += 1
+                tc.total_committed += 1
+                stats.committed += 1
+                stats.per_thread_committed[tid] = stats.per_thread_committed.get(tid, 0) + 1
+                if kind == SYSCALL:
+                    self._finish_syscall(tid)
+
+    # -- completion ---------------------------------------------------------
+    def _complete(self, now: int) -> None:
+        for instr in self.completions.pop_ready(now):
+            if instr.squashed:
+                continue
+            instr.completed = True
+            if self.tracer:
+                self.tracer.record(now, "complete", instr)
+            tid = instr.tid
+            ctx = self.contexts[tid]
+            tc = self.counters[tid]
+            ctx.mark_completed(instr.seq)
+            if instr.kind == BRANCH and instr.cond:
+                tc.in_flight_branches -= 1
+                if instr.mispredicted and ctx.wp_branch_seq == instr.seq:
+                    self._squash_wrong_path(tid, now)
+
+    # -- squash ---------------------------------------------------------------
+    def _squash_wrong_path(self, tid: int, now: int) -> None:
+        """Kill everything younger than the resolved mispredicted branch."""
+        ctx = self.contexts[tid]
+        tc = self.counters[tid]
+        stats = self.stats
+        # 1. Front-end delay line holds only junk at this point.
+        fq = self.front_q[tid]
+        while fq:
+            instr, _ready = fq.pop()
+            instr.squashed = True
+            tc.front_end -= 1
+            self._front_total -= 1
+            tc.q_squashed += 1
+            stats.squashed += 1
+            if self.tracer:
+                self.tracer.record(now, "squash", instr)
+            if instr.kind == BRANCH and instr.cond:
+                tc.in_flight_branches -= 1
+        # 2. ROB tail: junk instructions (seq == -1) are contiguous at the tail.
+        rob = ctx.rob
+        while rob and rob[-1].seq == -1:
+            instr = rob.pop()
+            instr.squashed = True
+            tc.rob -= 1
+            tc.q_squashed += 1
+            stats.squashed += 1
+            if self.tracer:
+                self.tracer.record(now, "squash", instr)
+            if needs_register(instr.kind):
+                self.regs.release(tid)
+            if not instr.issued:
+                tc.iq_int -= 1  # junk dispatches to the integer queue
+            # issued junk is in the completion heap; _complete skips it.
+            if instr.kind == LOAD:
+                self.lsq.release(tid)
+                tc.lsq -= 1
+                tc.in_flight_mem -= 1
+                tc.in_flight_loads -= 1
+            elif instr.kind == BRANCH and instr.cond and not instr.completed:
+                tc.in_flight_branches -= 1
+        ctx.wrong_path = False
+        ctx.wp_branch_seq = -1
+        ctx.block_fetch_until(now + self.config.misfetch_penalty)
+
+    # -- syscall drain ----------------------------------------------------------
+    def _syscall_drain_check(self, now: int) -> None:
+        """If a syscall is draining the pipe, start it once drained."""
+        tid = self._drain_tid
+        if tid is None:
+            return
+        ctx = self.contexts[tid]
+        rob = ctx.rob
+        if not rob or rob[0].kind != SYSCALL or rob[0].issued:
+            return
+        # Drained = no one else has anything in flight, our older work done.
+        if len(self.completions):
+            return
+        for other in self.contexts:
+            if other.tid != tid and other.rob:
+                return
+        if len(self.iq_int) or len(self.iq_fp):
+            # Lazy entries may linger; compact and re-check.
+            self.iq_int.compact()
+            self.iq_fp.compact()
+            if len(self.iq_int) or len(self.iq_fp):
+                return
+        syscall = rob[0]
+        syscall.issued = True
+        self.completions.schedule(syscall, now + self.config.syscall_drain_cycles)
+
+    def _finish_syscall(self, tid: int) -> None:
+        self._drain_tid = None
+        self.contexts[tid].syscall_waiting = False
+        self.stats.syscalls += 1
+
+    # -- issue -------------------------------------------------------------
+    def _issue(self, now: int) -> None:
+        fus = self.fus
+        fus.new_cycle()
+        budget = self.config.issue_width
+        budget = self._issue_queue(self.iq_int, budget, now)
+        if budget > 0:
+            self._issue_queue(self.iq_fp, budget, now)
+
+    def _issue_queue(self, iq: InstructionQueue, budget: int, now: int) -> int:
+        if budget <= 0 or not len(iq):
+            return budget
+        contexts = self.contexts
+        counters = self.counters
+        fus = self.fus
+        latencies = self._latencies
+        survivors: List[Instruction] = []
+        append = survivors.append
+        for instr in iq:
+            if instr.squashed or instr.issued:
+                continue  # lazy removal
+            if budget <= 0:
+                append(instr)
+                continue
+            tid = instr.tid
+            if instr.seq != -1:
+                if not contexts[tid].is_ready(instr):
+                    tc = counters[tid]
+                    tc.recent_stalls += 0.1  # waiting in IQ: mild stall signal
+                    append(instr)
+                    continue
+            elif now < instr.wp_ready:
+                # Wrong-path junk waiting on its phantom operands.
+                append(instr)
+                continue
+            kind = instr.kind
+            if not fus.try_claim(kind):
+                append(instr)
+                continue
+            # Issue it.
+            budget -= 1
+            instr.issued = True
+            if self.tracer:
+                self.tracer.record(now, "issue", instr)
+            tc = counters[tid]
+            if iq is self.iq_int:
+                tc.iq_int -= 1
+            else:
+                tc.iq_fp -= 1
+            if kind == LOAD:
+                result = self.hierarchy.load(instr.addr, now)
+                if result.mshr_stall:
+                    # Cannot allocate a miss entry: retry next cycle.
+                    instr.issued = False
+                    tc.iq_int += 1
+                    tc.recent_stalls += 1.0
+                    tc.q_stall_cycles += 1
+                    budget += 1
+                    append(instr)
+                    continue
+                latency = 1 + result.latency
+                if result.l1_miss:
+                    tc.outstanding_l1d_misses += 1
+                    tc.q_l1d_misses += 1
+                    if result.l2_miss:
+                        tc.q_l2_misses += 1
+                    # Remember to decrement the outstanding-miss gauge.
+                    self._pending_miss_clear.append((now + latency, tid))
+                self.completions.schedule(instr, now + latency)
+            elif kind == STORE:
+                result = self.hierarchy.store(instr.addr, now)
+                if result.l1_miss:
+                    tc.q_l1d_misses += 1
+                    if result.l2_miss:
+                        tc.q_l2_misses += 1
+                # Stores complete quickly; the LSQ holds them until commit.
+                self.completions.schedule(instr, now + latencies[STORE])
+            else:
+                self.completions.schedule(instr, now + latencies.get(kind, 1))
+        iq.set_entries(survivors)
+        return budget
+
+    # -- dispatch -----------------------------------------------------------
+    def _dispatch(self, now: int) -> None:
+        if self._drain_tid is not None:
+            return  # syscall draining: hold everything in the front end
+        budget = self.config.rename_width
+        n = self.num_threads
+        start = self._commit_rotation  # reuse rotation for fairness
+        for i in range(n):
+            if budget <= 0:
+                break
+            tid = (start + i) % n
+            budget = self._dispatch_thread(tid, budget, now)
+
+    def _dispatch_thread(self, tid: int, budget: int, now: int) -> int:
+        ctx = self.contexts[tid]
+        if ctx.syscall_waiting:
+            return budget
+        fq = self.front_q[tid]
+        tc = self.counters[tid]
+        cfg = self.config
+        while budget > 0 and fq:
+            instr, ready_cycle = fq[0]
+            if ready_cycle > now:
+                break
+            if len(ctx.rob) >= cfg.rob_entries_per_thread:
+                tc.recent_stalls += 1.0
+                tc.q_stall_cycles += 1
+                break
+            kind = instr.kind
+            if kind == SYSCALL:
+                if self._drain_tid is not None:
+                    break  # another syscall is mid-drain
+                fq.popleft()
+                tc.front_end -= 1
+                self._front_total -= 1
+                ctx.rob.append(instr)
+                tc.rob += 1
+                ctx.syscall_waiting = True
+                self._drain_tid = tid
+                budget -= 1
+                break
+            needs_reg = needs_register(kind)
+            if needs_reg and not self.regs.allocate(tid):
+                # Shared rename pool exhausted: dispatch stalls machine-wide
+                # pressure the paper's clogging analysis calls out.
+                tc.q_reg_full += 1
+                tc.recent_stalls += 1.0
+                tc.q_stall_cycles += 1
+                break
+            is_mem = kind == LOAD or kind == STORE
+            if is_mem and not self.lsq.allocate(tid):
+                if needs_reg:
+                    self.regs.release(tid)
+                tc.q_lsq_full += 1
+                tc.recent_stalls += 1.0
+                tc.q_stall_cycles += 1
+                break
+            iq = self.iq_fp if instr.is_fp else self.iq_int
+            if iq.full:
+                iq.compact()
+            if iq.full:
+                if is_mem:
+                    self.lsq.release(tid)
+                if needs_reg:
+                    self.regs.release(tid)
+                tc.q_iq_full += 1
+                tc.recent_stalls += 1.0
+                tc.q_stall_cycles += 1
+                break
+            # Commit the dispatch.
+            fq.popleft()
+            tc.front_end -= 1
+            self._front_total -= 1
+            if self.tracer:
+                self.tracer.record(now, "dispatch", instr)
+            iq.insert(instr)
+            if instr.is_fp:
+                tc.iq_fp += 1
+            else:
+                tc.iq_int += 1
+            ctx.rob.append(instr)
+            tc.rob += 1
+            if is_mem:
+                tc.lsq += 1
+                tc.in_flight_mem += 1
+                if kind == LOAD:
+                    tc.in_flight_loads += 1
+            budget -= 1
+        return budget
+
+    # -- fetch --------------------------------------------------------------
+    def _fetch(self, now: int) -> int:
+        cfg = self.config
+        fuel = cfg.fetch_width
+        threads_used = 0
+        free = cfg.fetch_buffer_entries - self._front_total
+        if free <= 0 or self._drain_tid is not None:
+            return fuel
+        candidates = [ctx.tid for ctx in self.contexts if ctx.can_fetch(now)]
+        if candidates:
+            ranked = self.policy.rank(candidates, self.counters)
+            for tid in ranked:
+                if fuel <= 0 or free <= 0 or threads_used >= cfg.fetch_threads_per_cycle:
+                    break
+                got = self._fetch_thread(tid, min(fuel, free), now)
+                # An attempt consumes the thread slot even when the I-cache
+                # misses (the port was occupied by the probe) — this is
+                # what makes single-thread-per-cycle fetch fragile.
+                threads_used += 1
+                if got > 0:
+                    fuel -= got
+                    free -= got
+        return fuel
+
+    def _fetch_thread(self, tid: int, fuel: int, now: int) -> int:
+        ctx = self.contexts[tid]
+        tc = self.counters[tid]
+        stats = self.stats
+        fq = self.front_q[tid]
+        ready_at = now + self._front_latency
+        if ctx.wrong_path:
+            # Wrong-path fetch: the hardware cannot tell these from real
+            # instructions, so neither can the counters — junk looks like
+            # the real mix: it waits on (phantom) operands in the IQ, loads
+            # pollute the caches, and branches inflate the unresolved-
+            # branch counts that BRCOUNT keys on.
+            count = min(fuel, self.config.fetch_width)
+            rng = self._wp_rng
+            for _ in range(count):
+                r = rng.random()
+                if r < 0.25:
+                    addr = (tid << 30) + (32 << 20) + rng.randrange(0, 4 << 20)
+                    junk = Instruction(tid, -1, LOAD, 0, addr=addr)
+                    tc.q_loads += 1
+                elif r < 0.40:
+                    junk = Instruction(tid, -1, BRANCH, 0, cond=True)
+                    tc.in_flight_branches += 1
+                    tc.q_branches += 1
+                    tc.q_cond_branches += 1
+                else:
+                    junk = Instruction(tid, -1, IALU, 0)
+                # Phantom operand wait: geometric, mean ~6 cycles.
+                junk.wp_ready = ready_at + min(40, int(rng.expovariate(1 / 6.0)))
+                if self.tracer:
+                    self.tracer.record(now, "fetch", junk)
+                fq.append((junk, ready_at))
+            tc.front_end += count
+            self._front_total += count
+            tc.q_fetched += count
+            tc.total_fetched += count
+            stats.fetched += count
+            stats.wrong_path_fetched += count
+            return count
+        count = 0
+        current_line = -1
+        while count < fuel:
+            instr = ctx.next_instruction()
+            line = instr.pc >> _LINE_SHIFT
+            if current_line < 0:
+                result = self.hierarchy.ifetch(instr.pc, now)
+                if result.l1_miss:
+                    tc.recent_l1i_misses += 1.0
+                    tc.q_l1i_misses += 1
+                    if result.l2_miss:
+                        tc.q_l2_misses += 1
+                    ctx.push_back(instr)
+                    ctx.block_fetch_until(now + result.latency)
+                    return -1 if count == 0 else count
+                current_line = line
+            elif line != current_line:
+                # Cache-block boundary: this thread is done for the cycle.
+                ctx.push_back(instr)
+                break
+            # Accept the instruction. Instructions are stamped with the
+            # *hardware context* id: a trace generator's own tid names its
+            # address space, which differs from the context when the job
+            # scheduler has remapped jobs (core/jobsched.py).
+            instr.tid = tid
+            if self.tracer:
+                self.tracer.record(now, "fetch", instr)
+            fq.append((instr, ready_at))
+            count += 1
+            tc.front_end += 1
+            self._front_total += 1
+            tc.q_fetched += 1
+            tc.total_fetched += 1
+            stats.fetched += 1
+            if instr.kind == BRANCH:
+                stop = self._fetch_branch(ctx, tc, instr, now)
+                if stop:
+                    break
+            elif instr.kind == LOAD:
+                tc.q_loads += 1
+            elif instr.kind == STORE:
+                tc.q_stores += 1
+            elif instr.kind == SYSCALL:
+                break  # fetch no further until the syscall retires
+        return count
+
+    def _fetch_branch(self, ctx: ThreadContext, tc, instr: Instruction, now: int) -> bool:
+        """Handle prediction for a just-fetched branch; True = stop fetching."""
+        tc.q_branches += 1
+        if instr.cond:
+            tc.q_cond_branches += 1
+            self.stats.cond_branches += 1
+            tc.in_flight_branches += 1
+            correct = self.predictor.predict_and_update(ctx.tid, instr.pc, instr.taken)
+            if not correct:
+                instr.mispredicted = True
+                tc.q_mispredicts += 1
+                self.stats.mispredicted_branches += 1
+                ctx.wrong_path = True
+                ctx.wp_branch_seq = instr.seq
+                return True
+            if not instr.taken:
+                return False  # correctly predicted not-taken: keep fetching
+        # Taken (or unconditional) branch: check the BTB for the target.
+        predicted_target = self.btb.lookup(instr.pc)
+        if predicted_target != instr.target:
+            self.btb.update(instr.pc, instr.target)
+            ctx.block_fetch_until(now + self.config.misfetch_penalty)
+        return True
+
+    # -- quantum ------------------------------------------------------------
+    def _end_quantum(self) -> None:
+        committed = self.stats.committed - self._quantum_committed_base
+        record = QuantumRecord(
+            index=self._quantum_index,
+            start_cycle=self._quantum_start_cycle,
+            cycles=self.now - self._quantum_start_cycle,
+            committed=committed,
+            policy=self.policy.name,
+        )
+        self.stats.quantum_history.append(record)
+        self.stats.cycles = self.now
+        snapshots = self.counters.end_quantum()
+        self.policy.on_quantum_boundary()
+        self.hook.on_quantum_end(self.now, record, snapshots)
+        self._quantum_index += 1
+        self._quantum_start_cycle = self.now
+        self._quantum_committed_base = self.stats.committed
+
+    def _drain_miss_gauges(self, now: int) -> None:
+        """Clear outstanding-L1D-miss gauges whose fills have arrived."""
+        lst = self._pending_miss_clear
+        if not lst:
+            return
+        keep = []
+        for cycle, tid in lst:
+            if cycle <= now:
+                self.counters[tid].outstanding_l1d_misses -= 1
+            else:
+                keep.append((cycle, tid))
+        self._pending_miss_clear = keep

@@ -1,0 +1,56 @@
+"""Batched random-number pool.
+
+The trace generators draw several random numbers per instruction; calling
+``Generator.random()`` scalar-at-a-time dominates the profile. ``RandPool``
+amortizes by drawing NumPy batches and serving them from a cursor — the
+standard vectorize-the-hot-loop idiom from the hpc-parallel guides, applied
+to RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RandPool:
+    """Serves scalar uniforms/geometrics from pre-drawn NumPy batches."""
+
+    def __init__(self, rng: np.random.Generator, batch: int = 8192) -> None:
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        self.rng = rng
+        self.batch = batch
+        self._uniform = rng.random(batch)
+        self._ucursor = 0
+
+    def uniform(self) -> float:
+        """One U[0,1) draw."""
+        if self._ucursor >= self.batch:
+            self.rng.random(out=self._uniform)
+            self._ucursor = 0
+        value = self._uniform[self._ucursor]
+        self._ucursor += 1
+        return value
+
+    def geometric(self, mean: float) -> int:
+        """Geometric draw with the given mean, support {1, 2, ...}.
+
+        Uses inversion on a pooled uniform; mean <= 1 degenerates to 1.
+        """
+        if mean <= 1.0:
+            return 1
+        # P(success) for a geometric with mean `mean` starting at 1.
+        p = 1.0 / mean
+        u = self.uniform()
+        # Inversion: ceil(log(1-u) / log(1-p)).
+        return max(1, int(np.log1p(-u) / np.log1p(-p)) + 1)
+
+    def integer(self, upper: int) -> int:
+        """Uniform integer in [0, upper)."""
+        if upper <= 1:
+            return 0
+        return int(self.uniform() * upper)
+
+    def bernoulli(self, p: float) -> bool:
+        """True with probability p."""
+        return self.uniform() < p

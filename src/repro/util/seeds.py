@@ -1,0 +1,39 @@
+"""Deterministic seed-stream fan-out.
+
+Every stochastic component in an experiment derives its ``Generator`` from
+one experiment seed through named substreams, so (a) whole experiments are
+reproducible from a single integer and (b) changing one component's draw
+count never perturbs another component's stream.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+def stable_hash(value: object) -> int:
+    """Process-independent 31-bit hash of ``value``'s string form.
+
+    Python's built-in ``hash`` is randomized per process (PYTHONHASHSEED),
+    which would silently make "seeded" experiments irreproducible across
+    runs; CRC32 is stable everywhere.
+    """
+    return zlib.crc32(str(value).encode("utf-8")) & 0x7FFFFFFF
+
+
+class SeedSequencer:
+    """Fan a root seed out into independent named substreams."""
+
+    def __init__(self, root_seed: int) -> None:
+        self.root_seed = int(root_seed)
+
+    def seed_for(self, *names: object) -> np.random.SeedSequence:
+        """A ``SeedSequence`` keyed by the root seed and a name tuple."""
+        key = tuple(stable_hash(n) for n in names)
+        return np.random.SeedSequence(entropy=self.root_seed, spawn_key=key)
+
+    def generator(self, *names: object) -> np.random.Generator:
+        """A fresh ``Generator`` on the named substream."""
+        return np.random.default_rng(self.seed_for(*names))

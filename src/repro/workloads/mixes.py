@@ -1,0 +1,165 @@
+"""The thirteen application mixes.
+
+The paper (§5) forms thirteen 8-program mixtures from SPEC CPU2000 "based
+on single-application performance, memory footprint and type (integer or
+floating-point)", keeping int/fp counts even in mixed combinations, and
+derives 4- and 6-thread cases by randomly excluding applications from the
+8-thread mixes. The exact mix tables are not published, so we reconstruct
+thirteen mixes that systematically cover the same axes, including the
+homogeneous mixes the §6 similarity finding requires and the §1 motivating
+case (half control-intensive / half other).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.workloads.profiles import PROFILES, get_profile
+
+
+@dataclass(frozen=True)
+class Mix:
+    """A named multiprogrammed workload.
+
+    Attributes:
+        name: mix identifier (``mix01`` .. ``mix13``).
+        apps: the 8 application names (slots map to hardware contexts).
+        description: what this mix stresses.
+        homogeneous: True when all 8 slots run the same program — the
+            paper's "more similar applications" case.
+    """
+
+    name: str
+    apps: Tuple[str, ...]
+    description: str
+    homogeneous: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.apps) != 8:
+            raise ValueError(f"{self.name}: mixes are defined at 8 threads")
+        unknown = [a for a in self.apps if a not in PROFILES]
+        if unknown:
+            raise ValueError(f"{self.name}: unknown applications {unknown}")
+
+    def subset(self, num_threads: int, seed: int = 0) -> Tuple[str, ...]:
+        """Randomly exclude apps to reach ``num_threads`` (paper §5)."""
+        if not 1 <= num_threads <= 8:
+            raise ValueError("num_threads must be in [1, 8]")
+        if num_threads == 8:
+            return self.apps
+        from repro.util.seeds import stable_hash
+
+        rng = np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(stable_hash(self.name),)))
+        keep = sorted(rng.choice(8, size=num_threads, replace=False).tolist())
+        return tuple(self.apps[i] for i in keep)
+
+    @property
+    def int_count(self) -> int:
+        return sum(1 for a in self.apps if get_profile(a).suite == "int")
+
+    @property
+    def fp_count(self) -> int:
+        return 8 - self.int_count
+
+    def similarity(self) -> float:
+        """Crude mixture-similarity score in (0, 1]: 1 = homogeneous.
+
+        Defined as the maximum fraction of slots sharing one (ipc_class,
+        memory_bound, suite) behaviour class.
+        """
+        classes = [
+            (get_profile(a).ipc_class, get_profile(a).memory_bound, get_profile(a).suite)
+            for a in self.apps
+        ]
+        best = max(classes.count(c) for c in set(classes))
+        return best / len(classes)
+
+
+MIXES: List[Mix] = [
+    Mix(
+        "mix01",
+        ("gzip", "eon", "crafty", "vortex", "bzip2", "gcc", "gap", "perlbmk"),
+        "all-integer, mostly high-IPC",
+    ),
+    Mix(
+        "mix02",
+        ("gcc", "crafty", "perlbmk", "parser", "gcc", "crafty", "perlbmk", "parser"),
+        "control-intensive integer (branch-heavy, §1 BRCOUNT case)",
+    ),
+    Mix(
+        "mix03",
+        ("mcf", "art", "equake", "swim", "lucas", "ammp", "parser", "twolf"),
+        "memory-bound, large footprints",
+    ),
+    Mix(
+        "mix04",
+        ("swim", "mgrid", "applu", "lucas", "wupwise", "art", "equake", "mesa"),
+        "all floating-point, streaming-heavy",
+    ),
+    Mix(
+        "mix05",
+        ("gzip", "gcc", "vortex", "twolf", "swim", "mesa", "art", "applu"),
+        "balanced 4 int + 4 fp across IPC classes",
+    ),
+    Mix(
+        "mix06",
+        ("bzip2", "crafty", "mcf", "gap", "wupwise", "equake", "mgrid", "lucas"),
+        "balanced 4 int + 4 fp, alternative draw",
+    ),
+    Mix(
+        "mix07",
+        ("gcc", "crafty", "perlbmk", "parser", "swim", "mgrid", "applu", "lucas"),
+        "half control-intensive int, half fp (paper §1 motivating mixture)",
+    ),
+    Mix(
+        "mix08",
+        ("mcf", "art", "equake", "ammp", "gzip", "eon", "vortex", "mesa"),
+        "half memory-bound, half cpu-bound",
+    ),
+    Mix(
+        "mix09",
+        ("gzip",) * 8,
+        "homogeneous: 8 x gzip (similar applications)",
+        homogeneous=True,
+    ),
+    Mix(
+        "mix10",
+        ("mcf",) * 8,
+        "homogeneous: 8 x mcf (similar, memory-bound)",
+        homogeneous=True,
+    ),
+    Mix(
+        "mix11",
+        ("crafty",) * 8,
+        "homogeneous: 8 x crafty (similar, control-intensive)",
+        homogeneous=True,
+    ),
+    Mix(
+        "mix12",
+        ("vpr", "gap", "mesa", "bzip2", "ammp", "parser", "wupwise", "twolf"),
+        "diverse random draw 1",
+    ),
+    Mix(
+        "mix13",
+        ("eon", "mcf", "mgrid", "gzip", "perlbmk", "art", "vortex", "swim"),
+        "diverse random draw 2",
+    ),
+]
+
+_BY_NAME = {m.name: m for m in MIXES}
+
+
+def get_mix(name: str) -> Mix:
+    """Look up a mix by name (``mix01`` .. ``mix13``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown mix {name!r}; known: {sorted(_BY_NAME)}") from None
+
+
+def mix_names() -> List[str]:
+    """All mix names in definition order."""
+    return [m.name for m in MIXES]

@@ -1,0 +1,80 @@
+"""Shared fixtures: small machines and quick processor builders.
+
+Pipeline tests run on reduced configurations (2–4 threads, small caches,
+short quanta) so the suite stays fast while still exercising every
+mechanism; full-size behaviour is covered by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_processor
+from repro.memory.hierarchy import HierarchyConfig
+from repro.memory.cache import CacheConfig
+from repro.smt.config import SMTConfig
+
+
+@pytest.fixture
+def small_hierarchy() -> HierarchyConfig:
+    """A tiny hierarchy whose capacity effects show up within a few
+    thousand accesses."""
+    return HierarchyConfig(
+        l1i=CacheConfig(4 * 1024, 64, 2, "l1i"),
+        l1d=CacheConfig(4 * 1024, 64, 2, "l1d"),
+        l2=CacheConfig(64 * 1024, 64, 4, "l2"),
+        l2_latency=8,
+        mem_latency=40,
+        mshr_entries=8,
+    )
+
+
+@pytest.fixture
+def small_config(small_hierarchy) -> SMTConfig:
+    return SMTConfig(
+        num_threads=4,
+        int_iq_entries=24,
+        fp_iq_entries=24,
+        lsq_entries=16,
+        rob_entries_per_thread=32,
+        fetch_buffer_entries=16,
+        hierarchy=small_hierarchy,
+    )
+
+
+@pytest.fixture
+def quick_proc(small_config):
+    """4-thread processor on a small mixed workload, 512-cycle quanta."""
+
+    def build(mix=("gzip", "crafty", "swim", "mcf"), policy="icount", hook=None, seed=1):
+        return build_processor(
+            mix=list(mix),
+            config=small_config,
+            policy=policy,
+            hook=hook,
+            seed=seed,
+            quantum_cycles=512,
+        )
+
+    return build
+
+
+def assert_counter_consistency(proc) -> None:
+    """The live occupancy counters must match the physical structures."""
+    for ctx in proc.contexts:
+        tc = proc.counters[ctx.tid]
+        assert tc.front_end == len(proc.front_q[ctx.tid]), f"front_end t{ctx.tid}"
+        assert tc.rob == len(ctx.rob), f"rob t{ctx.tid}"
+        assert tc.lsq == proc.lsq.occupancy_of(ctx.tid), f"lsq t{ctx.tid}"
+        assert tc.iq_int == proc.iq_int.occupancy_of(ctx.tid), f"iq_int t{ctx.tid}"
+        assert tc.iq_fp == proc.iq_fp.occupancy_of(ctx.tid), f"iq_fp t{ctx.tid}"
+        assert tc.front_end >= 0 and tc.rob >= 0 and tc.lsq >= 0
+        assert tc.in_flight_branches >= 0
+        assert tc.in_flight_loads >= 0
+        assert tc.in_flight_mem >= 0
+    total_front = sum(len(q) for q in proc.front_q)
+    assert proc._front_total == total_front
+    # Rename-register pool: attribution sums to usage; never over capacity.
+    held = sum(proc.regs.occupancy_of(ctx.tid) for ctx in proc.contexts)
+    assert held == proc.regs.in_use
+    assert 0 <= proc.regs.in_use <= proc.regs.capacity

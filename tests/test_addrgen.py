@@ -1,0 +1,85 @@
+"""Tests for the data-address generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.addrgen import DataAddressGenerator, _THREAD_REGION
+from repro.workloads.profiles import get_profile
+
+
+def gen(name="gzip", tid=0, seed=0):
+    return DataAddressGenerator(get_profile(name), tid, np.random.default_rng(seed))
+
+
+class TestAddressRanges:
+    def test_addresses_stay_in_thread_region(self):
+        for tid in (0, 3, 7):
+            g = gen("mcf", tid=tid)
+            for _ in range(2000):
+                addr = g.next_address()
+                assert tid * _THREAD_REGION <= addr < (tid + 1) * _THREAD_REGION
+
+    def test_two_threads_disjoint(self):
+        g0, g1 = gen(tid=0), gen(tid=1)
+        a0 = {g0.next_address() >> 6 for _ in range(500)}
+        a1 = {g1.next_address() >> 6 for _ in range(500)}
+        assert not (a0 & a1)
+
+    def test_determinism(self):
+        a = [gen(seed=5).next_address() for _ in range(1)]
+        g1, g2 = gen(seed=5), gen(seed=5)
+        assert [g1.next_address() for _ in range(200)] == [g2.next_address() for _ in range(200)]
+
+    def test_seeds_differ(self):
+        g1, g2 = gen(seed=1), gen(seed=2)
+        s1 = [g1.next_address() for _ in range(100)]
+        s2 = [g2.next_address() for _ in range(100)]
+        assert s1 != s2
+
+
+class TestLocalityStructure:
+    def test_high_locality_profile_has_high_line_reuse(self):
+        g = gen("gzip")  # hot_fraction 0.85
+        lines = [g.next_address() >> 6 for _ in range(4000)]
+        assert len(set(lines)) / len(lines) < 0.35, "gzip stream should reuse lines heavily"
+
+    def test_memory_bound_profile_has_low_reuse(self):
+        g = gen("mcf")  # hot_fraction 0.35, 64MB footprint
+        lines = [g.next_address() >> 6 for _ in range(4000)]
+        g2 = gen("gzip")
+        lines2 = [g2.next_address() >> 6 for _ in range(4000)]
+        assert len(set(lines)) > 2 * len(set(lines2))
+
+    def test_streaming_profile_walks_sequentially(self):
+        g = gen("swim")  # stream_fraction 0.55
+        addrs = [g.next_address() for _ in range(2000)]
+        diffs = [b - a for a, b in zip(addrs, addrs[1:])]
+        # The word-granular stream stride must be the most common step.
+        assert diffs.count(8) > len(diffs) * 0.2
+
+    def test_footprint_bound_respected_by_cold_accesses(self):
+        g = gen("gzip")  # 180 KB footprint
+        top = max(g.next_address() for _ in range(5000))
+        assert top < g.base + 16 * 1024 * 1024 + g.footprint_bytes + 1
+
+    def test_cold_share_grows_with_memory_boundness(self):
+        assert gen("mcf")._cold_share() > gen("gzip")._cold_share()
+
+
+class TestPhaseScaling:
+    def test_phase_scale_expands_footprint(self):
+        g = gen("gzip")
+        before = g.footprint_bytes
+        g.set_phase_scale(3.0)
+        assert g.footprint_bytes == 3 * before
+
+    def test_phase_scale_floor(self):
+        g = gen("gzip")
+        g.set_phase_scale(0.0)
+        assert g.footprint_scale == pytest.approx(0.1)
+
+    def test_accesses_counter(self):
+        g = gen()
+        for _ in range(17):
+            g.next_address()
+        assert g.accesses == 17

@@ -1,0 +1,108 @@
+"""Tests for the local two-level and tournament predictors."""
+
+import numpy as np
+import pytest
+
+from repro.branch import create_predictor
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.local import LocalHistoryPredictor
+from repro.branch.tournament import TournamentPredictor
+
+
+class TestLocalHistory:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LocalHistoryPredictor(history_entries=100)
+        with pytest.raises(ValueError):
+            LocalHistoryPredictor(history_bits=0)
+
+    def test_learns_period_two_pattern(self):
+        # T,N,T,N — bimodal flails; local history nails it after warmup.
+        p = LocalHistoryPredictor()
+        taken = True
+        correct = 0
+        for i in range(300):
+            correct += p.predict_and_update(0, 0x400, taken)
+            taken = not taken
+        assert correct / 300 > 0.9
+
+    def test_learns_loop_trip_count(self):
+        # Pattern T,T,T,N repeating (loop with trip count 4).
+        p = LocalHistoryPredictor(history_bits=8)
+        pattern = [True, True, True, False]
+        correct = 0
+        n = 600
+        for i in range(n):
+            correct += p.predict_and_update(0, 0x700, pattern[i % 4])
+        assert correct / n > 0.85
+
+    def test_bimodal_fails_where_local_wins(self):
+        bimodal = BimodalPredictor(1024)
+        local = LocalHistoryPredictor()
+        taken = True
+        b = l = 0
+        for i in range(400):
+            b += bimodal.predict_and_update(0, 0x500, taken)
+            l += local.predict_and_update(0, 0x500, taken)
+            taken = not taken
+        assert l > b
+
+    def test_reset(self):
+        p = LocalHistoryPredictor()
+        p.predict_and_update(0, 0x100, True)
+        p.reset()
+        assert p.lookups == 0
+
+
+class TestTournament:
+    def test_beats_or_matches_components_on_mixed_stream(self):
+        # Half the branches are statically biased (bimodal's home turf),
+        # half alternate (local's home turf): the tournament must track
+        # the better component on each.
+        rng = np.random.default_rng(0)
+        tour = TournamentPredictor()
+        bim = BimodalPredictor(2048)
+        loc = LocalHistoryPredictor()
+        t = b = l = 0
+        alt = True
+        n = 2000
+        for i in range(n):
+            # biased branch at 0x100, alternating branch at 0x200
+            taken_biased = bool(rng.random() < 0.95)
+            t += tour.predict_and_update(0, 0x100, taken_biased)
+            b += bim.predict_and_update(0, 0x100, taken_biased)
+            l += loc.predict_and_update(0, 0x100, taken_biased)
+            t += tour.predict_and_update(0, 0x200, alt)
+            b += bim.predict_and_update(0, 0x200, alt)
+            l += loc.predict_and_update(0, 0x200, alt)
+            alt = not alt
+        assert t >= b - n * 0.02
+        assert t >= l - n * 0.02
+
+    def test_reset(self):
+        p = TournamentPredictor()
+        p.predict_and_update(0, 0x1, True)
+        p.reset()
+        assert p.lookups == 0
+
+
+class TestFactory:
+    def test_all_names(self):
+        for name in ("bimodal", "gshare", "local", "tournament"):
+            p = create_predictor(name)
+            p.predict_and_update(0, 0x40, True)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            create_predictor("neural")
+
+    def test_pipeline_accepts_every_predictor(self):
+        from repro import build_processor
+        from repro.smt.config import SMTConfig
+
+        for name in ("bimodal", "gshare", "local", "tournament"):
+            cfg = SMTConfig(num_threads=2, predictor=name)
+            proc = build_processor(mix=["gzip", "crafty"], config=cfg,
+                                   quantum_cycles=512)
+            proc.run(1500)
+            assert proc.stats.committed > 0

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        args_dict = vars(args)
+        assert args_dict["mix"] == "mix07"
+        assert args_dict["policy"] == "icount"
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "magic"])
+
+
+class TestCommands:
+    def test_policies_lists_ten(self, capsys):
+        code, out = run_cli(capsys, "policies")
+        assert code == 0
+        assert len(out.strip().splitlines()) == 10
+        assert "icount" in out
+
+    def test_policies_json(self, capsys):
+        code, out = run_cli(capsys, "policies", "--json")
+        assert json.loads(out)["policies"][0] == "icount"
+
+    def test_mixes_lists_thirteen(self, capsys):
+        code, out = run_cli(capsys, "mixes")
+        assert out.count("mix") >= 13
+
+    def test_run_fixed(self, capsys):
+        code, out = run_cli(capsys, "run", "mix09", "--quanta", "2",
+                            "--warmup", "1", "--quantum", "512")
+        assert code == 0
+        assert "IPC" in out
+
+    def test_run_adts_json(self, capsys):
+        code, out = run_cli(capsys, "run", "mix09", "--adts", "--quanta", "2",
+                            "--warmup", "1", "--quantum", "512", "--json")
+        payload = json.loads(out)
+        assert payload["ipc"] > 0
+        assert payload["mode"] == "adts"
+
+    def test_fastgrid(self, capsys):
+        code, out = run_cli(capsys, "fastgrid", "--fast-quanta", "8")
+        assert "IPC[type3]" in out
+
+    def test_scaling_small(self, capsys):
+        code, out = run_cli(capsys, "scaling", "mix09", "--quanta", "2",
+                            "--warmup", "1", "--quantum", "512")
+        assert "threads" in out

@@ -1,0 +1,62 @@
+"""Tests for clogging-thread identification."""
+
+from repro.core.clogging import identify_clogging_threads
+from repro.smt.counters import QuantumSnapshot
+
+
+def snap(tid, fetched=1000, committed=800, squashed=0, l1d=10, lsq=0):
+    return QuantumSnapshot(
+        tid=tid, fetched=fetched, committed=committed, cond_branches=100,
+        branches=120, mispredicts=5, loads=200, stores=50, l1d_misses=l1d,
+        l1i_misses=5, l2_misses=2, lsq_full=lsq, iq_full=0, reg_full=0,
+        squashed=squashed, stall_cycles=50,
+    )
+
+
+class TestIdentifyClogging:
+    def test_empty_input(self):
+        assert identify_clogging_threads([]) == []
+
+    def test_balanced_threads_not_clogging(self):
+        reports = identify_clogging_threads([snap(t) for t in range(4)])
+        assert not any(r.clogging for r in reports)
+
+    def test_occupancy_hog_with_no_commits_flagged(self):
+        snaps = [snap(t) for t in range(3)]
+        snaps.append(snap(3, fetched=5000, committed=10))
+        reports = identify_clogging_threads(snaps)
+        assert reports[3].clogging
+        assert "occupancy-vs-commit imbalance" in reports[3].reasons
+
+    def test_wrong_path_storm_flagged(self):
+        snaps = [snap(t) for t in range(3)]
+        snaps.append(snap(3, fetched=4000, committed=100, squashed=3000))
+        reports = identify_clogging_threads(snaps)
+        assert reports[3].clogging
+        assert "wrong-path storm" in reports[3].reasons
+
+    def test_dcache_dominance_flagged(self):
+        snaps = [snap(t, l1d=5) for t in range(3)]
+        snaps.append(snap(3, committed=100, l1d=500))
+        reports = identify_clogging_threads(snaps)
+        assert reports[3].clogging
+        assert "dcache-miss dominance" in reports[3].reasons
+
+    def test_lsq_saturation_flagged(self):
+        snaps = [snap(t) for t in range(3)]
+        snaps.append(snap(3, committed=100, lsq=900))
+        reports = identify_clogging_threads(snaps)
+        assert reports[3].clogging
+        assert "lsq saturation" in reports[3].reasons
+
+    def test_high_occupancy_but_productive_not_flagged(self):
+        # A thread can dominate occupancy if it also commits its share.
+        snaps = [snap(t, fetched=500, committed=450) for t in range(3)]
+        snaps.append(snap(3, fetched=4000, committed=3500))
+        reports = identify_clogging_threads(snaps)
+        assert not reports[3].clogging
+
+    def test_shares_sum_to_one(self):
+        reports = identify_clogging_threads([snap(t) for t in range(5)])
+        assert abs(sum(r.occupancy_share for r in reports) - 1.0) < 1e-9
+        assert abs(sum(r.commit_share for r in reports) - 1.0) < 1e-9

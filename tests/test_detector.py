@@ -1,0 +1,93 @@
+"""Tests for the detector-thread functional model."""
+
+import pytest
+
+from repro.core.detector import DetectorTask, DetectorThread
+
+
+class TestDetectorThread:
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            DetectorThread(width=0)
+
+    def test_idle_slots_drive_progress(self):
+        dt = DetectorThread(width=4)
+        done = []
+        dt.enqueue(DetectorTask("t", 10, on_complete=lambda at: done.append(at)), now=0)
+        assert dt.busy
+        assert dt.on_cycle(1, idle_slots=4) == 4
+        assert dt.on_cycle(2, idle_slots=4) == 4
+        assert not done
+        assert dt.on_cycle(3, idle_slots=4) == 2  # last 2 instructions
+        assert done == [3]
+        assert not dt.busy
+
+    def test_width_caps_consumption(self):
+        dt = DetectorThread(width=2)
+        dt.enqueue(DetectorTask("t", 100), now=0)
+        assert dt.on_cycle(0, idle_slots=8) == 2
+
+    def test_starvation_counted(self):
+        dt = DetectorThread()
+        dt.enqueue(DetectorTask("t", 10), now=0)
+        dt.on_cycle(0, idle_slots=0)
+        dt.on_cycle(1, idle_slots=0)
+        assert dt.starved_cycles == 2
+        assert dt.instructions_executed == 0
+
+    def test_no_work_consumes_nothing(self):
+        dt = DetectorThread()
+        assert dt.on_cycle(0, idle_slots=8) == 0
+        assert dt.active_cycles == 0
+
+    def test_tasks_fifo(self):
+        dt = DetectorThread(width=8)
+        order = []
+        dt.enqueue(DetectorTask("a", 8, on_complete=lambda at: order.append("a")), 0)
+        dt.enqueue(DetectorTask("b", 8, on_complete=lambda at: order.append("b")), 0)
+        dt.on_cycle(1, 8)
+        dt.on_cycle(2, 8)
+        assert order == ["a", "b"]
+
+    def test_multiple_tasks_one_cycle(self):
+        dt = DetectorThread(width=8)
+        order = []
+        dt.enqueue(DetectorTask("a", 2, on_complete=lambda at: order.append("a")), 0)
+        dt.enqueue(DetectorTask("b", 2, on_complete=lambda at: order.append("b")), 0)
+        assert dt.on_cycle(1, 8) == 4
+        assert order == ["a", "b"]
+
+    def test_instant_mode_completes_immediately(self):
+        dt = DetectorThread(instant=True)
+        done = []
+        dt.enqueue(DetectorTask("t", 500, on_complete=lambda at: done.append(at)), now=7)
+        assert done == [7]
+        assert not dt.busy
+        assert dt.instructions_executed == 500
+
+    def test_task_latency_accounting(self):
+        dt = DetectorThread(width=1)
+        dt.enqueue(DetectorTask("t", 3), now=10)
+        for cycle in (11, 12, 13):
+            dt.on_cycle(cycle, 8)
+        assert dt.completions[0].latency == 3
+        assert dt.mean_task_latency() == pytest.approx(3.0)
+
+    def test_backlog_instructions(self):
+        dt = DetectorThread()
+        dt.enqueue(DetectorTask("a", 10), 0)
+        dt.enqueue(DetectorTask("b", 20), 0)
+        assert dt.backlog_instructions == 30
+        dt.on_cycle(1, 4)
+        assert dt.backlog_instructions == 26
+
+    def test_drop_all(self):
+        dt = DetectorThread()
+        dt.enqueue(DetectorTask("a", 10), 0)
+        dt.enqueue(DetectorTask("b", 10), 0)
+        assert dt.drop_all() == 2
+        assert not dt.busy
+        assert dt.backlog_instructions == 0
+
+    def test_mean_latency_empty(self):
+        assert DetectorThread().mean_task_latency() == 0.0

@@ -1,0 +1,64 @@
+"""Documentation-quality meta-tests: every public module, class and
+function in the library carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+def _walk_modules():
+    mods = [repro]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing the entry point would run the CLI
+        mods.append(importlib.import_module(info.name))
+    return mods
+
+
+MODULES = _walk_modules()
+
+
+def _documented(obj) -> bool:
+    return bool(getattr(obj, "__doc__", None) and obj.__doc__.strip())
+
+
+def _inherits_doc(cls_or_obj, method_name) -> bool:
+    """A subclass/override may rely on the documented base definition."""
+    if method_name is None:
+        if not inspect.isclass(cls_or_obj):
+            return False
+        return any(_documented(base) for base in cls_or_obj.__mro__[1:-1])
+    for base in cls_or_obj.__mro__[1:]:
+        base_method = base.__dict__.get(method_name)
+        if base_method is not None and _documented(base_method):
+            return True
+    return False
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        if not _documented(obj) and not _inherits_doc(obj, None):
+            undocumented.append(f"{module.__name__}.{name}")
+        if inspect.isclass(obj):
+            for mname, method in vars(obj).items():
+                if mname.startswith("_") or not inspect.isfunction(method):
+                    continue
+                if not _documented(method) and not _inherits_doc(obj, mname):
+                    undocumented.append(f"{module.__name__}.{name}.{mname}")
+    assert not undocumented, f"missing docstrings: {undocumented}"

@@ -1,0 +1,77 @@
+"""Tests for the fairness metrics."""
+
+import pytest
+
+from repro.analysis.fairness import (
+    FairnessReport,
+    fairness_report,
+    hmean_speedup,
+    jain_index,
+    weighted_speedup,
+)
+from repro.smt.stats import SimStats
+
+
+class TestJainIndex:
+    def test_equal_shares_give_one(self):
+        assert jain_index({0: 1.0, 1: 1.0, 2: 1.0}) == pytest.approx(1.0)
+
+    def test_total_starvation_gives_one_over_n(self):
+        assert jain_index({0: 1.0, 1: 0.0, 2: 0.0, 3: 0.0}) == pytest.approx(0.25)
+
+    def test_empty_is_zero(self):
+        assert jain_index({}) == 0.0
+        assert jain_index({0: 0.0}) == 0.0
+
+    def test_bounded(self):
+        v = jain_index({0: 0.3, 1: 0.5, 2: 0.1})
+        assert 1 / 3 <= v <= 1.0
+
+
+class TestSpeedups:
+    BASE = {0: 1.0, 1: 2.0}
+
+    def test_weighted_speedup(self):
+        assert weighted_speedup({0: 0.5, 1: 1.0}, self.BASE) == pytest.approx(1.0)
+
+    def test_hmean_equal_speedups(self):
+        assert hmean_speedup({0: 0.5, 1: 1.0}, self.BASE) == pytest.approx(0.5)
+
+    def test_hmean_penalizes_imbalance(self):
+        balanced = hmean_speedup({0: 0.5, 1: 1.0}, self.BASE)  # 0.5, 0.5
+        skewed = hmean_speedup({0: 0.9, 1: 0.2}, self.BASE)  # 0.9, 0.1
+        assert skewed < balanced
+
+    def test_missing_baselines_skipped(self):
+        assert weighted_speedup({0: 1.0, 5: 1.0}, self.BASE) == pytest.approx(1.0)
+
+    def test_zero_thread_kills_hmean(self):
+        assert hmean_speedup({0: 0.0, 1: 1.0}, self.BASE) == 0.0
+
+    def test_empty(self):
+        assert hmean_speedup({}, {}) == 0.0
+
+
+class TestFairnessReport:
+    def test_from_stats_without_baselines(self):
+        stats = SimStats(cycles=100, committed=150,
+                         per_thread_committed={0: 100, 1: 50})
+        rep = fairness_report(stats)
+        assert rep.aggregate_ipc == pytest.approx(1.5)
+        assert 0.5 < rep.jain <= 1.0
+        assert rep.weighted_speedup is None
+
+    def test_with_baselines(self):
+        stats = SimStats(cycles=100, committed=150,
+                         per_thread_committed={0: 100, 1: 50})
+        rep = fairness_report(stats, {0: 2.0, 1: 1.0})
+        assert rep.weighted_speedup == pytest.approx(1.0)
+        assert rep.hmean_speedup == pytest.approx(0.5)
+        assert rep.as_dict()["jain"] == rep.jain
+
+    def test_integration_with_real_run(self, quick_proc):
+        proc = quick_proc()
+        proc.run(3000)
+        rep = fairness_report(proc.stats)
+        assert 0.0 < rep.jain <= 1.0
+        assert rep.aggregate_ipc > 0

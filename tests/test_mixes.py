@@ -1,0 +1,96 @@
+"""Tests for the 13 application mixes."""
+
+import pytest
+
+from repro.workloads.mixes import MIXES, Mix, get_mix, mix_names
+from repro.workloads.profiles import get_profile
+
+
+class TestMixTable:
+    def test_exactly_thirteen(self):
+        assert len(MIXES) == 13
+
+    def test_names_are_mix01_to_mix13(self):
+        assert mix_names() == [f"mix{i:02d}" for i in range(1, 14)]
+
+    def test_all_mixes_have_eight_apps(self):
+        for m in MIXES:
+            assert len(m.apps) == 8
+
+    def test_all_apps_known(self):
+        for m in MIXES:
+            for a in m.apps:
+                get_profile(a)  # raises on unknown
+
+    def test_homogeneous_mixes_flagged(self):
+        homog = [m for m in MIXES if m.homogeneous]
+        assert len(homog) >= 3
+        for m in homog:
+            assert len(set(m.apps)) == 1
+
+    def test_balanced_mixes_even_int_fp(self):
+        for name in ("mix05", "mix06"):
+            m = get_mix(name)
+            assert m.int_count == 4 and m.fp_count == 4
+
+    def test_motivating_mix07_half_control_intensive(self):
+        m = get_mix("mix07")
+        control = sum(1 for a in m.apps if get_profile(a).control_intensive)
+        assert control >= 3
+
+    def test_get_mix_unknown(self):
+        with pytest.raises(KeyError, match="unknown mix"):
+            get_mix("mix99")
+
+    def test_mix_requires_eight_apps(self):
+        with pytest.raises(ValueError):
+            Mix("bad", ("gzip",) * 7, "too short")
+
+    def test_mix_rejects_unknown_apps(self):
+        with pytest.raises(ValueError):
+            Mix("bad", ("gzip",) * 7 + ("doom",), "unknown app")
+
+
+class TestSubset:
+    def test_subset_sizes(self):
+        m = get_mix("mix01")
+        for n in (1, 4, 6, 8):
+            assert len(m.subset(n)) == n
+
+    def test_subset_eight_is_identity(self):
+        m = get_mix("mix01")
+        assert m.subset(8) == m.apps
+
+    def test_subset_deterministic(self):
+        m = get_mix("mix03")
+        assert m.subset(4, seed=1) == m.subset(4, seed=1)
+
+    def test_subset_seed_varies_selection(self):
+        m = get_mix("mix01")
+        picks = {m.subset(4, seed=s) for s in range(10)}
+        assert len(picks) > 1
+
+    def test_subset_draws_from_mix(self):
+        m = get_mix("mix05")
+        for app in m.subset(6, seed=3):
+            assert app in m.apps
+
+    def test_subset_bounds(self):
+        m = get_mix("mix01")
+        with pytest.raises(ValueError):
+            m.subset(0)
+        with pytest.raises(ValueError):
+            m.subset(9)
+
+
+class TestSimilarity:
+    def test_homogeneous_similarity_is_one(self):
+        assert get_mix("mix09").similarity() == 1.0
+
+    def test_diverse_similarity_below_one(self):
+        assert get_mix("mix13").similarity() < 1.0
+
+    def test_homogeneous_more_similar_than_diverse(self):
+        homog = min(get_mix(n).similarity() for n in ("mix09", "mix10", "mix11"))
+        diverse = max(get_mix(n).similarity() for n in ("mix12", "mix13"))
+        assert homog > diverse

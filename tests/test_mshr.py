@@ -1,0 +1,68 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.memory.mshr import MSHRFile
+
+
+class TestMSHR:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+    def test_allocate_and_lookup(self):
+        m = MSHRFile(4)
+        m.allocate(10, complete_cycle=100)
+        assert m.lookup(10) == 100
+        assert m.lookup(11) == -1
+        assert len(m) == 1
+
+    def test_coalescing_returns_existing_completion(self):
+        m = MSHRFile(4)
+        m.allocate(10, 100)
+        assert m.allocate(10, 150) == 100
+        assert m.coalesced == 1
+        assert len(m) == 1
+
+    def test_full_raises_and_counts(self):
+        m = MSHRFile(2)
+        m.allocate(1, 10)
+        m.allocate(2, 10)
+        assert m.full
+        with pytest.raises(RuntimeError):
+            m.allocate(3, 10)
+        assert m.full_stalls == 1
+
+    def test_full_still_coalesces_existing_line(self):
+        m = MSHRFile(2)
+        m.allocate(1, 10)
+        m.allocate(2, 20)
+        assert m.allocate(1, 99) == 10  # no new entry needed
+
+    def test_retire_ready_frees_entries(self):
+        m = MSHRFile(4)
+        m.allocate(1, 10)
+        m.allocate(2, 20)
+        done = m.retire_ready(15)
+        assert done == [1]
+        assert len(m) == 1
+        assert m.lookup(1) == -1
+
+    def test_retire_boundary_inclusive(self):
+        m = MSHRFile(4)
+        m.allocate(1, 10)
+        assert m.retire_ready(10) == [1]
+
+    def test_reset(self):
+        m = MSHRFile(2)
+        m.allocate(1, 10)
+        try:
+            m.allocate(2, 10)
+            m.allocate(3, 10)
+        except RuntimeError:
+            pass
+        m.reset()
+        assert len(m) == 0
+        assert m.allocations == 0
+        assert m.coalesced == 0
+        assert m.full_stalls == 0

@@ -1,0 +1,55 @@
+"""Tests for the oracle (clairvoyant) scheduler."""
+
+import pytest
+
+from repro.core.oracle import OracleScheduler, oracle_upper_bound
+
+
+class TestOracleScheduler:
+    def test_rejects_empty_candidates(self):
+        with pytest.raises(ValueError):
+            OracleScheduler(())
+
+    def test_runs_and_records(self, quick_proc):
+        proc = quick_proc()
+        result = OracleScheduler(("icount", "rr")).run(proc, quanta=2)
+        assert len(result.quanta) == 2
+        assert result.cycles == 2 * 512
+        assert result.committed > 0
+        for q in result.quanta:
+            assert q.chosen in ("icount", "rr")
+            assert set(q.per_policy_committed) == {"icount", "rr"}
+
+    def test_chooses_the_max_trial(self, quick_proc):
+        proc = quick_proc()
+        result = OracleScheduler(("icount", "rr")).run(proc, quanta=3)
+        for q in result.quanta:
+            best = max(q.per_policy_committed, key=q.per_policy_committed.get)
+            assert q.chosen == best
+
+    def test_policy_usage_sums_to_quanta(self, quick_proc):
+        proc = quick_proc()
+        result = OracleScheduler(("icount", "brcount")).run(proc, quanta=3)
+        assert sum(result.policy_usage().values()) == 3
+
+    def test_oracle_ipc_at_least_committed_trials(self, quick_proc):
+        # The live quantum under the chosen policy replays the trial's RNG
+        # state, so the live committed count equals the winning trial's.
+        proc = quick_proc()
+        result = OracleScheduler(("icount",)).run(proc, quanta=2)
+        for q in result.quanta:
+            assert q.committed == q.per_policy_committed["icount"]
+
+
+class TestOracleUpperBound:
+    def test_bound_structure(self, quick_proc):
+        report = oracle_upper_bound(quick_proc, quanta=2, candidates=("icount", "rr"))
+        assert set(report) == {"oracle_ipc", "fixed_icount_ipc", "headroom", "policy_usage"}
+        assert report["oracle_ipc"] > 0
+        assert report["fixed_icount_ipc"] > 0
+
+    def test_oracle_not_much_worse_than_fixed(self, quick_proc):
+        # Per-quantum max over {icount} is exactly fixed icount, so the
+        # headroom with richer candidates cannot be very negative.
+        report = oracle_upper_bound(quick_proc, quanta=3, candidates=("icount", "brcount"))
+        assert report["headroom"] > -0.10

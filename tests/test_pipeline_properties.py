@@ -1,0 +1,71 @@
+"""Property-based pipeline tests: invariants must hold under arbitrary
+interleavings of running, policy switches, and control-flag writes."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from conftest import assert_counter_consistency
+from repro import build_processor
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import HierarchyConfig
+from repro.smt.config import SMTConfig
+
+_CFG = SMTConfig(
+    num_threads=3,
+    int_iq_entries=16,
+    fp_iq_entries=16,
+    lsq_entries=12,
+    rob_entries_per_thread=24,
+    fetch_buffer_entries=12,
+    hierarchy=HierarchyConfig(
+        l1i=CacheConfig(4 * 1024, 64, 2, "l1i"),
+        l1d=CacheConfig(4 * 1024, 64, 2, "l1d"),
+        l2=CacheConfig(32 * 1024, 64, 4, "l2"),
+        l2_latency=6,
+        mem_latency=30,
+        mshr_entries=4,
+    ),
+)
+
+_ACTIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("run"), st.integers(10, 120)),
+        st.tuples(st.just("policy"), st.sampled_from(
+            ["icount", "brcount", "l1misscount", "rr", "memcount"])),
+        st.tuples(st.just("fetchable"), st.integers(0, 2), st.booleans()),
+    ),
+    min_size=3,
+    max_size=10,
+)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(actions=_ACTIONS, seed=st.integers(0, 50))
+def test_invariants_under_random_action_sequences(actions, seed):
+    proc = build_processor(
+        mix=["gzip", "mcf", "crafty"], config=_CFG, seed=seed, quantum_cycles=256
+    )
+    committed_before = 0
+    for action in actions:
+        if action[0] == "run":
+            proc.run(action[1])
+        elif action[0] == "policy":
+            proc.set_policy(action[1])
+        else:
+            _, tid, flag = action
+            proc.contexts[tid].fetchable = flag
+        # Core invariants after every step of the scenario:
+        assert_counter_consistency(proc)
+        assert proc.stats.committed >= committed_before
+        committed_before = proc.stats.committed
+        assert proc.stats.fetched >= proc.stats.committed + sum(
+            len(q) for q in proc.front_q
+        ) - proc.stats.squashed - 1  # fetched >= in-flight + done (approx)
+        assert 0 <= len(proc.lsq) <= _CFG.lsq_entries
+        assert len(proc.iq_int) <= _CFG.int_iq_entries + _CFG.fp_iq_entries
+    # Re-enable everything; the machine must still make progress.
+    for ctx in proc.contexts:
+        ctx.fetchable = True
+    before = proc.stats.committed
+    proc.run(2000)
+    assert proc.stats.committed > before

@@ -1,0 +1,94 @@
+"""Behavioural tests: fetch policies must actually shift fetch allocation
+in the running machine, not just sort keys."""
+
+import numpy as np
+import pytest
+
+from repro.smt.config import SMTConfig
+from repro.smt.pipeline import SMTProcessor
+from repro.workloads.synthetic import get_preset
+from repro.workloads.tracegen import TraceGenerator
+
+
+def build(policy: str, apps, seed=0):
+    cfg = SMTConfig(num_threads=len(apps))
+    traces = [
+        TraceGenerator(get_preset(a), t, np.random.default_rng(seed * 10 + t))
+        for t, a in enumerate(apps)
+    ]
+    return SMTProcessor(cfg, traces, policy=policy, quantum_cycles=1024)
+
+
+def fetch_share(proc, tid: int) -> float:
+    total = sum(t.total_fetched for t in proc.counters)
+    return proc.counters[tid].total_fetched / total if total else 0.0
+
+
+class TestAllocationShifts:
+    """Mix: one branch-storm thread (0) + one pointer-chaser (1) + two
+    compute threads (2, 3)."""
+
+    APPS = ("branch_storm", "pointer_chase", "compute", "compute")
+
+    def test_brcount_starves_the_branchy_thread(self):
+        icount = build("icount", self.APPS)
+        brcount = build("brcount", self.APPS)
+        icount.run(6000)
+        brcount.run(6000)
+        assert fetch_share(brcount, 0) < fetch_share(icount, 0), \
+            "BRCOUNT must give the storming thread fewer fetch slots than ICOUNT"
+
+    def test_memcount_starves_the_pointer_chaser(self):
+        icount = build("icount", self.APPS)
+        memcount = build("memcount", self.APPS)
+        icount.run(6000)
+        memcount.run(6000)
+        assert fetch_share(memcount, 1) < fetch_share(icount, 1) + 0.02
+
+    def test_accipc_favours_the_fast_threads(self):
+        accipc = build("accipc", self.APPS)
+        accipc.run(6000)
+        compute_share = fetch_share(accipc, 2) + fetch_share(accipc, 3)
+        assert compute_share > 0.5, \
+            "ACCIPC must concentrate fetch on the historically fast threads"
+
+    def test_rr_is_roughly_fair_in_slots(self):
+        rr = build("rr", self.APPS)
+        rr.run(6000)
+        shares = [fetch_share(rr, t) for t in range(4)]
+        # Round-robin offers equal *opportunities*; realized shares differ
+        # by stall behaviour but no thread should be starved outright.
+        assert min(shares) > 0.08
+
+    def test_icount_commits_more_than_rr_on_heterogeneous_mix(self):
+        icount = build("icount", self.APPS)
+        rr = build("rr", self.APPS)
+        icount.run(8000)
+        rr.run(8000)
+        assert icount.stats.committed > rr.stats.committed
+
+
+class TestSignalPlumbing:
+    """Live counters the policies read must reflect machine activity."""
+
+    def test_in_flight_branches_nonzero_for_branchy_thread(self):
+        proc = build("icount", ("branch_storm", "compute"))
+        samples = []
+        for _ in range(300):
+            proc.run(10)
+            samples.append(proc.counters[0].in_flight_branches)
+        assert max(samples) > 0
+
+    def test_outstanding_misses_nonzero_for_memory_thread(self):
+        proc = build("icount", ("pointer_chase", "compute"))
+        samples = []
+        for _ in range(300):
+            proc.run(10)
+            samples.append(proc.counters[0].outstanding_l1d_misses)
+        assert max(samples) > 0
+        assert min(samples) >= 0
+
+    def test_accipc_signal_tracks_commit_rates(self):
+        proc = build("icount", ("pointer_chase", "compute"))
+        proc.run(6000)
+        assert proc.counters[1].accumulated_ipc > proc.counters[0].accumulated_ipc

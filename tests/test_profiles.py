@@ -1,0 +1,108 @@
+"""Tests for the application-profile tables."""
+
+import pytest
+
+from repro.workloads.profiles import (
+    PROFILES,
+    ApplicationProfile,
+    PhaseProfile,
+    get_profile,
+)
+
+
+class TestProfileTable:
+    def test_has_both_suites(self):
+        suites = {p.suite for p in PROFILES.values()}
+        assert suites == {"int", "fp"}
+
+    def test_at_least_eighteen_profiles(self):
+        assert len(PROFILES) >= 18
+
+    def test_canonical_spec2000_names_present(self):
+        for name in ["gzip", "gcc", "mcf", "crafty", "vortex", "bzip2",
+                     "swim", "mgrid", "applu", "art", "equake", "ammp"]:
+            assert name in PROFILES
+
+    def test_get_profile_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown application"):
+            get_profile("nonexistent")
+
+    def test_all_profiles_internally_consistent(self):
+        for p in PROFILES.values():
+            assert 0 < p.branch_frac <= 0.5
+            assert p.load_frac + p.store_frac < 0.9
+            assert 0 <= p.mispredict_target <= 0.5
+            assert p.hot_kb <= p.footprint_kb or p.footprint_kb < p.hot_kb  # trivially true; hot capped in addrgen
+            for phase in p.phases:
+                assert phase.weight > 0
+                assert phase.mean_length > 0
+
+    def test_mcf_is_memory_bound(self):
+        assert get_profile("mcf").memory_bound
+
+    def test_gzip_is_not_memory_bound(self):
+        assert not get_profile("gzip").memory_bound
+
+    def test_crafty_is_control_intensive(self):
+        assert get_profile("crafty").control_intensive
+
+    def test_swim_is_not_control_intensive(self):
+        assert not get_profile("swim").control_intensive
+
+    def test_ipc_classes_cover_all_three(self):
+        classes = {p.ipc_class for p in PROFILES.values()}
+        assert classes == {"high", "med", "low"}
+
+
+class TestProfileValidation:
+    def kwargs(self, **over):
+        base = dict(name="x", suite="int", ipc_class="med", footprint_kb=100)
+        base.update(over)
+        return base
+
+    def test_bad_suite(self):
+        with pytest.raises(ValueError):
+            ApplicationProfile(**self.kwargs(suite="vector"))
+
+    def test_bad_ipc_class(self):
+        with pytest.raises(ValueError):
+            ApplicationProfile(**self.kwargs(ipc_class="ultra"))
+
+    def test_bad_footprint(self):
+        with pytest.raises(ValueError):
+            ApplicationProfile(**self.kwargs(footprint_kb=0))
+
+    def test_bad_block_length(self):
+        with pytest.raises(ValueError):
+            ApplicationProfile(**self.kwargs(avg_block=1))
+
+    def test_bad_memory_fraction(self):
+        with pytest.raises(ValueError):
+            ApplicationProfile(**self.kwargs(load_frac=0.8, store_frac=0.3))
+
+    def test_bad_mispredict_target(self):
+        with pytest.raises(ValueError):
+            ApplicationProfile(**self.kwargs(mispredict_target=0.7))
+
+    def test_bad_dep_mean(self):
+        with pytest.raises(ValueError):
+            ApplicationProfile(**self.kwargs(dep_mean=0.5))
+
+
+class TestPhaseProfile:
+    def test_defaults_are_neutral(self):
+        ph = PhaseProfile()
+        assert ph.mispredict_scale == 1.0
+        assert ph.footprint_scale == 1.0
+        assert ph.load_scale == 1.0
+        assert ph.dep_scale == 1.0
+
+    def test_storm_phases_exist_in_branchy_profiles(self):
+        gcc = get_profile("gcc")
+        scales = [ph.mispredict_scale for ph in gcc.phases]
+        assert max(scales) > 1.5, "gcc should have a misprediction-storm phase"
+
+    def test_memory_phases_exist_in_two_phase_profiles(self):
+        gzip = get_profile("gzip")
+        scales = [ph.footprint_scale for ph in gzip.phases]
+        assert max(scales) > 1.5

@@ -1,0 +1,113 @@
+"""Tests for the instruction queues and LSQ."""
+
+import pytest
+
+from repro.smt.instruction import IALU, Instruction
+from repro.smt.queues import InstructionQueue, LoadStoreQueue
+
+
+def instr(tid=0, seq=0):
+    return Instruction(tid, seq, IALU, 0)
+
+
+class TestInstructionQueue:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            InstructionQueue(0, "x")
+
+    def test_insert_and_len(self):
+        q = InstructionQueue(4, "int")
+        q.insert(instr())
+        assert len(q) == 1
+        assert not q.full
+        assert q.free == 3
+
+    def test_overflow_raises(self):
+        q = InstructionQueue(2, "int")
+        q.insert(instr())
+        q.insert(instr())
+        with pytest.raises(RuntimeError):
+            q.insert(instr())
+
+    def test_compact_drops_issued_and_squashed(self):
+        q = InstructionQueue(4, "int")
+        a, b, c = instr(seq=1), instr(seq=2), instr(seq=3)
+        b.issued = True
+        c.squashed = True
+        for i in (a, b, c):
+            q.insert(i)
+        q.compact()
+        assert list(q) == [a]
+
+    def test_occupancy_of_counts_live_entries_per_thread(self):
+        q = InstructionQueue(8, "int")
+        q.insert(instr(tid=0, seq=1))
+        q.insert(instr(tid=1, seq=2))
+        dead = instr(tid=0, seq=3)
+        dead.squashed = True
+        q.insert(dead)
+        assert q.occupancy_of(0) == 1
+        assert q.occupancy_of(1) == 1
+
+    def test_set_entries_replaces(self):
+        q = InstructionQueue(4, "int")
+        q.insert(instr())
+        q.set_entries([])
+        assert len(q) == 0
+
+    def test_iteration_in_dispatch_order(self):
+        q = InstructionQueue(4, "int")
+        items = [instr(seq=i) for i in range(3)]
+        for i in items:
+            q.insert(i)
+        assert list(q) == items
+
+
+class TestLoadStoreQueue:
+    def make(self, cap=4, threads=2):
+        lsq = LoadStoreQueue(cap)
+        lsq.reset_threads(threads)
+        return lsq
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            LoadStoreQueue(0)
+
+    def test_allocate_release(self):
+        lsq = self.make()
+        assert lsq.allocate(0)
+        assert len(lsq) == 1
+        assert lsq.occupancy_of(0) == 1
+        lsq.release(0)
+        assert len(lsq) == 0
+
+    def test_full_refuses_and_counts(self):
+        lsq = self.make(cap=2)
+        assert lsq.allocate(0) and lsq.allocate(1)
+        assert lsq.full
+        assert not lsq.allocate(0)
+        assert lsq.full_events == 1
+
+    def test_release_underflow_raises(self):
+        lsq = self.make()
+        with pytest.raises(RuntimeError):
+            lsq.release(0)
+
+    def test_release_all(self):
+        lsq = self.make(cap=8)
+        for _ in range(3):
+            lsq.allocate(1)
+        lsq.release_all(1, 3)
+        assert lsq.occupancy_of(1) == 0
+        assert len(lsq) == 0
+
+    def test_release_all_underflow_raises(self):
+        lsq = self.make()
+        lsq.allocate(0)
+        with pytest.raises(RuntimeError):
+            lsq.release_all(0, 2)
+
+    def test_release_all_zero_noop(self):
+        lsq = self.make()
+        lsq.release_all(0, 0)
+        assert len(lsq) == 0

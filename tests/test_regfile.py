@@ -1,0 +1,96 @@
+"""Tests for the shared rename-register pool."""
+
+import pytest
+
+from repro.smt.instruction import BRANCH, FADD, IALU, LOAD, STORE, SYSCALL
+from repro.smt.regfile import RenameRegisterPool, needs_register
+
+
+class TestNeedsRegister:
+    def test_dest_writers(self):
+        for kind in (IALU, FADD, LOAD):
+            assert needs_register(kind)
+
+    def test_no_dest(self):
+        for kind in (BRANCH, STORE, SYSCALL):
+            assert not needs_register(kind)
+
+
+class TestRenameRegisterPool:
+    def make(self, cap=4, threads=2):
+        pool = RenameRegisterPool(cap)
+        pool.reset_threads(threads)
+        return pool
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RenameRegisterPool(0)
+
+    def test_allocate_release_roundtrip(self):
+        pool = self.make()
+        assert pool.allocate(0)
+        assert pool.in_use == 1
+        assert pool.occupancy_of(0) == 1
+        pool.release(0)
+        assert pool.free == 4
+
+    def test_exhaustion_counts_failures(self):
+        pool = self.make(cap=2)
+        assert pool.allocate(0) and pool.allocate(1)
+        assert not pool.allocate(0)
+        assert pool.alloc_failures == 1
+
+    def test_release_underflow_raises(self):
+        pool = self.make()
+        with pytest.raises(RuntimeError):
+            pool.release(0)
+
+    def test_release_all(self):
+        pool = self.make(cap=8)
+        for _ in range(3):
+            pool.allocate(1)
+        assert pool.release_all(1) == 3
+        assert pool.free == 8
+        assert pool.occupancy_of(1) == 0
+
+    def test_attribution_per_thread(self):
+        pool = self.make(cap=8, threads=3)
+        pool.allocate(0)
+        pool.allocate(2)
+        pool.allocate(2)
+        assert pool.occupancy_of(0) == 1
+        assert pool.occupancy_of(1) == 0
+        assert pool.occupancy_of(2) == 2
+        assert pool.in_use == 3
+
+
+class TestPipelineIntegration:
+    def test_tiny_pool_throttles_but_progresses(self, small_config):
+        from dataclasses import replace
+
+        from repro import build_processor
+
+        cfg = replace(small_config, rename_registers=12)
+        proc = build_processor(mix=["gzip", "mcf", "crafty", "swim"],
+                               config=cfg, seed=1, quantum_cycles=512)
+        proc.run(4000)
+        assert proc.regs.alloc_failures > 0
+        assert proc.stats.committed > 100
+
+    def test_generous_pool_never_fails(self, quick_proc):
+        proc = quick_proc()
+        proc.run(4000)
+        # The small_config default pool (200) covers 4 threads easily.
+        assert proc.regs.alloc_failures == 0
+
+    def test_registers_freed_at_swap(self, quick_proc):
+        import numpy as np
+
+        from repro.workloads.profiles import get_profile
+        from repro.workloads.tracegen import TraceGenerator
+
+        proc = quick_proc()
+        proc.run(1500)
+        trace = TraceGenerator(get_profile("vortex"), 9, np.random.default_rng(5))
+        proc.swap_thread(1, trace, switch_penalty=20)
+        assert proc.regs.occupancy_of(1) == 0

@@ -1,0 +1,124 @@
+"""Tests for the golden-results regression tool."""
+
+import json
+
+import pytest
+
+from repro.harness.regression import (
+    Mismatch,
+    RegressionReport,
+    compare_to_goldens,
+    save_goldens,
+)
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    results = tmp_path / "results"
+    goldens = tmp_path / "goldens"
+    results.mkdir()
+    return results, goldens
+
+
+def write(results, name, payload):
+    (results / name).write_text(json.dumps(payload))
+
+
+class TestSaveGoldens:
+    def test_snapshot_copies_files(self, dirs):
+        results, goldens = dirs
+        write(results, "a.json", {"x": 1})
+        write(results, "b.json", {"y": 2})
+        assert save_goldens(results, goldens) == 2
+        assert json.loads((goldens / "a.json").read_text()) == {"x": 1}
+
+
+class TestCompare:
+    def test_identical_ok(self, dirs):
+        results, goldens = dirs
+        write(results, "a.json", {"ipc": 2.0, "series": [1, 2, 3]})
+        save_goldens(results, goldens)
+        report = compare_to_goldens(results, goldens)
+        assert report.ok
+        assert report.files_compared == 1
+        assert "OK" in report.summary()
+
+    def test_within_tolerance_ok(self, dirs):
+        results, goldens = dirs
+        write(results, "a.json", {"ipc": 2.00})
+        save_goldens(results, goldens)
+        write(results, "a.json", {"ipc": 2.04})  # 2 % drift
+        assert compare_to_goldens(results, goldens, rel_tol=0.05).ok
+
+    def test_beyond_tolerance_flagged(self, dirs):
+        results, goldens = dirs
+        write(results, "a.json", {"ipc": 2.0})
+        save_goldens(results, goldens)
+        write(results, "a.json", {"ipc": 2.5})
+        report = compare_to_goldens(results, goldens, rel_tol=0.05)
+        assert not report.ok
+        assert report.mismatches[0].kind == "value"
+        assert "$.ipc" in report.mismatches[0].path
+
+    def test_abs_floor_protects_small_counts(self, dirs):
+        results, goldens = dirs
+        write(results, "a.json", {"switches": 0})
+        save_goldens(results, goldens)
+        write(results, "a.json", {"switches": 0.04})
+        assert compare_to_goldens(results, goldens, rel_tol=0.05, abs_floor=1.0).ok
+
+    def test_missing_and_extra_keys(self, dirs):
+        results, goldens = dirs
+        write(results, "a.json", {"x": 1, "y": 2})
+        save_goldens(results, goldens)
+        write(results, "a.json", {"x": 1, "z": 3})
+        report = compare_to_goldens(results, goldens)
+        kinds = {m.kind for m in report.mismatches}
+        assert kinds == {"missing", "extra"}
+
+    def test_missing_file(self, dirs):
+        results, goldens = dirs
+        write(results, "a.json", {"x": 1})
+        save_goldens(results, goldens)
+        (results / "a.json").unlink()
+        report = compare_to_goldens(results, goldens)
+        assert not report.ok
+        assert report.mismatches[0].kind == "missing"
+
+    def test_list_length_change(self, dirs):
+        results, goldens = dirs
+        write(results, "a.json", {"s": [1, 2, 3]})
+        save_goldens(results, goldens)
+        write(results, "a.json", {"s": [1, 2]})
+        report = compare_to_goldens(results, goldens)
+        assert any("len" in m.path for m in report.mismatches)
+
+    def test_string_and_bool_exact(self, dirs):
+        results, goldens = dirs
+        write(results, "a.json", {"policy": "icount", "flag": True})
+        save_goldens(results, goldens)
+        write(results, "a.json", {"policy": "brcount", "flag": False})
+        report = compare_to_goldens(results, goldens)
+        assert len(report.mismatches) == 2
+
+    def test_only_filter(self, dirs):
+        results, goldens = dirs
+        write(results, "a.json", {"x": 1})
+        write(results, "b.json", {"x": 1})
+        save_goldens(results, goldens)
+        write(results, "b.json", {"x": 99})
+        report = compare_to_goldens(results, goldens, only=["a.json"])
+        assert report.ok
+
+    def test_real_results_roundtrip(self, dirs, tmp_path):
+        # The actual benchmark output format must survive the tool.
+        import pathlib
+
+        real = pathlib.Path(__file__).resolve().parent.parent / "results"
+        if not real.exists() or not list(real.glob("*.json")):
+            pytest.skip("no benchmark results present")
+        goldens = tmp_path / "g2"
+        n = save_goldens(real, goldens)
+        report = compare_to_goldens(real, goldens)
+        assert report.ok
+        assert report.files_compared == n

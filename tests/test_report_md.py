@@ -1,0 +1,62 @@
+"""Tests for the Markdown report renderer."""
+
+import json
+
+import pytest
+
+from repro.analysis.report_md import (
+    md_series,
+    md_table,
+    render_grid,
+    render_results_dir,
+    render_table1,
+)
+
+
+class TestMdTable:
+    def test_shape(self):
+        text = md_table(["a", "b"], [[1, 2.5]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.500 |"
+
+    def test_series(self):
+        assert md_series("x", [1, 2], [0.5, 1.0]) == "`x`: 1=0.500, 2=1.000"
+
+
+class TestRenderers:
+    def test_render_table1(self):
+        payload = {"rows": [{"policy": "icount", "mean_ipc": 2.0},
+                            {"policy": "rr", "mean_ipc": 1.5}]}
+        text = render_table1(payload)
+        assert "icount" in text and "2.000" in text
+
+    def test_render_grid(self):
+        payload = {
+            "experiment": "F8",
+            "thresholds": [1.0, 2.0],
+            "ipc_vs_threshold": {"type1": [1.9, 2.0]},
+        }
+        text = render_grid(payload)
+        assert "type1" in text and "2.000" in text
+
+    def test_render_results_dir(self, tmp_path):
+        (tmp_path / "T1_table1.json").write_text(json.dumps(
+            {"rows": [{"policy": "icount", "mean_ipc": 2.0}]}))
+        (tmp_path / "F8_ipc_grid.json").write_text(json.dumps(
+            {"experiment": "F8", "thresholds": [1.0],
+             "ipc_vs_threshold": {"type1": [1.9]}}))
+        (tmp_path / "misc.json").write_text(json.dumps({"headroom": 0.01}))
+        doc = render_results_dir(tmp_path)
+        assert "# Benchmark results" in doc
+        assert "T1" in doc and "type1" in doc and "headroom" in doc
+
+    def test_render_real_results(self):
+        import pathlib
+
+        real = pathlib.Path(__file__).resolve().parent.parent / "results"
+        if not real.exists() or not list(real.glob("*.json")):
+            pytest.skip("no benchmark results present")
+        doc = render_results_dir(real)
+        assert len(doc) > 500

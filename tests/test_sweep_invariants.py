@@ -1,0 +1,63 @@
+"""Cross-cutting invariants of the sweep machinery and its series views."""
+
+import pytest
+
+from repro.harness.runner import RunConfig
+from repro.harness.sweep import threshold_type_grid
+from repro.smt.config import SMTConfig
+
+
+@pytest.fixture(scope="module")
+def grid():
+    base = RunConfig(
+        mix=["gzip", "mcf"],
+        num_threads=2,
+        quantum_cycles=256,
+        quanta=4,
+        warmup_quanta=1,
+        machine=SMTConfig(num_threads=2),
+    )
+    return threshold_type_grid(
+        base, mixes=["mix01", "mix10"], thresholds=(1.0, 99.0),
+        heuristics=("type1", "type3g"),
+    )
+
+
+class TestSweepInvariants:
+    def test_every_cell_populated(self, grid):
+        for m in grid.thresholds:
+            for h in grid.heuristics:
+                assert (m, h) in grid.ipc
+                assert (m, h) in grid.switches
+                assert (m, h) in grid.benign
+
+    def test_per_mix_cells_average_to_grid_cell(self, grid):
+        for m in grid.thresholds:
+            for h in grid.heuristics:
+                per_mix = [grid.per_mix_ipc[(m, h, mix)] for mix in grid.mixes]
+                assert grid.ipc[(m, h)] == pytest.approx(sum(per_mix) / len(per_mix))
+
+    def test_series_views_are_consistent_projections(self, grid):
+        for h in grid.heuristics:
+            assert grid.series_ipc_vs_threshold(h) == [
+                grid.ipc[(m, h)] for m in grid.thresholds
+            ]
+        for m in grid.thresholds:
+            assert grid.series_switches_vs_type(m) == [
+                grid.switches[(m, h)] for h in grid.heuristics
+            ]
+
+    def test_benign_in_unit_interval(self, grid):
+        assert all(0.0 <= v <= 1.0 for v in grid.benign.values())
+
+    def test_absurd_threshold_switches_dominate(self, grid):
+        for h in grid.heuristics:
+            assert grid.switches[(99.0, h)] >= grid.switches[(1.0, h)]
+
+    def test_best_cell_is_argmax(self, grid):
+        best = grid.best_cell()
+        assert grid.ipc[best] == max(grid.ipc.values())
+
+    def test_gradient_gate_never_switches_more(self, grid):
+        for m in grid.thresholds:
+            assert grid.switches[(m, "type3g")] <= grid.switches[(m, "type1")] + 1
