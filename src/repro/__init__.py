@@ -25,10 +25,11 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Union
 
-from repro.core.adts import ADTSController
+from repro.core.adts import ADTSController, WatchdogConfig
 from repro.core.heuristics import HEURISTICS, create_heuristic
 from repro.core.oracle import OracleScheduler, oracle_upper_bound
 from repro.core.thresholds import ThresholdConfig
+from repro.faults import FaultInjector, FaultPlan
 from repro.policies import POLICY_NAMES, create_policy
 from repro.smt.config import SMTConfig
 from repro.smt.pipeline import SchedulerHook, SMTProcessor
@@ -42,7 +43,10 @@ __all__ = [
     "SMTConfig",
     "SchedulerHook",
     "ADTSController",
+    "WatchdogConfig",
     "ThresholdConfig",
+    "FaultPlan",
+    "FaultInjector",
     "OracleScheduler",
     "oracle_upper_bound",
     "POLICY_NAMES",

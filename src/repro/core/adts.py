@@ -8,12 +8,31 @@ and Policy_Switch() engages it — all of it *charged to the detector
 thread*, which progresses only through idle fetch slots, so the switch
 lands some cycles into the next quantum (or is skipped entirely if the DT
 is still busy, which the controller records).
+
+Robustness: the controller carries a **watchdog** (§3's implicit contract
+that ADTS must degrade gracefully when the machine misbehaves). Two failure
+signatures trigger a fallback to safe-mode fixed ICOUNT for a configurable
+number of quanta before re-arming:
+
+* **implausible counter readings** — an IPC outside the machine's physical
+  range, per-thread committed counts that exceed the commit bandwidth or go
+  negative, per-thread sums that disagree with the aggregate, or a replayed
+  (non-monotonic) quantum index — the signatures of stale or bit-flipped
+  status registers;
+* **persistent decision starvation** — many *consecutive* missed decisions.
+  Occasional misses are the paper's benign high-utilization case; an
+  unbroken streak means the control loop is effectively dead.
+
+While in safe mode the controller stops consulting the heuristics (garbage
+in, garbage out), drops any queued detector-thread work, and re-asserts the
+safe policy at every boundary (the actuation path itself may be faulty).
+Every fallback is recorded in the decision log and ``summary()``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.core.clogging import identify_clogging_threads
 from repro.core.detector import DetectorTask, DetectorThread
@@ -29,6 +48,40 @@ from repro.smt.pipeline import SchedulerHook
 CHECK_COST = 64
 IDENTIFY_COST = 128
 SWITCH_COST = 32
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Knobs for the controller's graceful-degradation watchdog.
+
+    Attributes:
+        missed_decision_limit: consecutive missed decisions before fallback.
+            Deliberately generous — isolated misses are the paper's benign
+            high-utilization case, not a fault.
+        implausible_limit: consecutive implausible counter readings before
+            fallback.
+        safe_mode_quanta: quanta to hold the safe policy before re-arming.
+        safe_policy: the fixed policy engaged during safe mode (ICOUNT, the
+            best-on-average Table-1 policy, per §4.3.3).
+        max_ipc: IPC plausibility ceiling; None uses the machine's commit
+            width (nothing can commit faster than the commit bandwidth).
+    """
+
+    missed_decision_limit: int = 8
+    implausible_limit: int = 2
+    safe_mode_quanta: int = 8
+    safe_policy: str = "icount"
+    max_ipc: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.missed_decision_limit < 1:
+            raise ValueError("missed_decision_limit must be >= 1")
+        if self.implausible_limit < 1:
+            raise ValueError("implausible_limit must be >= 1")
+        if self.safe_mode_quanta < 1:
+            raise ValueError("safe_mode_quanta must be >= 1")
+        if self.max_ipc is not None and self.max_ipc <= 0:
+            raise ValueError("max_ipc must be positive")
 
 
 @dataclass
@@ -57,6 +110,7 @@ class ADTSController(SchedulerHook):
         mark_clogging: bool = True,
         inhibit_cloggers: bool = False,
         autotune=None,
+        watchdog: Optional[WatchdogConfig] = None,
     ) -> None:
         self.thresholds = thresholds or ThresholdConfig()
         if isinstance(heuristic, str):
@@ -72,31 +126,78 @@ class ADTSController(SchedulerHook):
         self._inhibited: set = set()
         #: optional ThresholdAutoTuner (§4.3.2's threshold-update kernel).
         self.autotune = autotune
+        self.watchdog = watchdog or WatchdogConfig()
         self.ledger = SwitchQualityLedger()
         self.decisions: List[DecisionLog] = []
         self.missed_decisions = 0
         self.low_throughput_quanta = 0
+        # Watchdog state/telemetry.
+        self.fallback_events = 0
+        self.implausible_quanta = 0
+        self.safe_mode_quanta_spent = 0
+        self._missed_streak = 0
+        self._implausible_streak = 0
+        self._safe_until = -1  # first quantum index past safe mode (-1 = armed)
+        self._last_seen_index = -1
         self._prev_ipc = 0.0
         self._awaiting_outcome = False
         self._ipc_before_switch = 0.0
         self.processor = None
         self.flags: Optional[ThreadControlFlags] = None
+        self._commit_width = 8  # refined at attach()
 
     # -- SchedulerHook ------------------------------------------------------
     def attach(self, processor) -> None:
         self.processor = processor
         self.flags = ThreadControlFlags(processor)
+        self._commit_width = getattr(processor.config, "commit_width", self._commit_width)
 
     def on_cycle(self, now: int, idle_slots: int) -> int:
         return self.detector.on_cycle(now, idle_slots)
 
     def on_quantum_end(self, now: int, record, snapshots) -> None:
-        obs = QuantumObservation.from_snapshots(record, snapshots, prev_ipc=self._prev_ipc)
-        # Fetch inhibition is a one-quantum action: lift it first.
+        # Fetch inhibition is a one-quantum action: lift it first — always,
+        # including in safe mode, so no thread stays inhibited indefinitely.
         if self._inhibited:
             for tid in self._inhibited:
                 self.flags.set_fetchable(tid, True)
             self._inhibited.clear()
+
+        plausible = self._plausible(record, snapshots)
+        if plausible:
+            self._implausible_streak = 0
+            if record.index > self._last_seen_index:
+                self._last_seen_index = record.index
+        else:
+            self.implausible_quanta += 1
+            self._implausible_streak += 1
+
+        if self.in_safe_mode:
+            if record.index < self._safe_until:
+                self.safe_mode_quanta_spent += 1
+                # Re-assert the fallback every boundary: the actuation path
+                # itself may be faulty (dropped or spurious switches).
+                if self.processor.policy_name != self.watchdog.safe_policy:
+                    self.processor.set_policy(self.watchdog.safe_policy)
+                if plausible:
+                    self._prev_ipc = record.ipc
+                return
+            # Safe window served: re-arm the adaptive loop.
+            self._safe_until = -1
+            self._missed_streak = 0
+            self._implausible_streak = 0
+
+        if not plausible:
+            # Never feed corrupt telemetry to the learner or the heuristics.
+            if self._implausible_streak >= self.watchdog.implausible_limit:
+                self._enter_safe_mode(
+                    now,
+                    record,
+                    f"{self._implausible_streak} consecutive implausible counter readings",
+                )
+            return
+
+        obs = QuantumObservation.from_snapshots(record, snapshots, prev_ipc=self._prev_ipc)
         # Let the threshold-management kernel re-calibrate (§4.3.2).
         if self.autotune is not None:
             self.thresholds = self.autotune.observe(obs)
@@ -115,7 +216,13 @@ class ADTSController(SchedulerHook):
             # Still chewing on the previous boundary's work: the paper's
             # starvation case. Skip this decision.
             self.missed_decisions += 1
+            self._missed_streak += 1
+            if self._missed_streak >= self.watchdog.missed_decision_limit:
+                self._enter_safe_mode(
+                    now, record, f"{self._missed_streak} consecutive missed decisions"
+                )
             return
+        self._missed_streak = 0
 
         incumbent = record.policy
         decision = self.heuristic.decide(incumbent, obs)
@@ -155,8 +262,72 @@ class ADTSController(SchedulerHook):
                 now,
             )
 
+    # -- watchdog -------------------------------------------------------------
+    @property
+    def in_safe_mode(self) -> bool:
+        """True while the watchdog holds the safe fixed policy."""
+        return self._safe_until >= 0
+
+    def _plausible(self, record, snapshots: Sequence) -> bool:
+        """Sanity-check one boundary's telemetry against physical limits.
+
+        Catches the signatures of stale or bit-flipped status counters:
+        out-of-range IPC, per-thread committed counts beyond the commit
+        bandwidth (or negative), per-thread sums that disagree with the
+        aggregate the IPC check used, and replayed quantum indices.
+        """
+        cycles = record.cycles
+        if cycles <= 0:
+            return False
+        if record.index <= self._last_seen_index:
+            return False  # a quantum that is already over: stale counters
+        max_commit = cycles * self._commit_width
+        committed = record.committed
+        if committed < 0 or committed > max_commit:
+            return False
+        max_ipc = self.watchdog.max_ipc
+        if max_ipc is not None and record.ipc > max_ipc:
+            return False
+        total = 0
+        for snap in snapshots:
+            if not snap.is_non_negative() or snap.committed > max_commit:
+                return False
+            total += snap.committed
+        if total != committed:
+            return False
+        return True
+
+    def _enter_safe_mode(self, now: int, record, reason: str) -> None:
+        """Fall back to the safe fixed policy for ``safe_mode_quanta``."""
+        self.fallback_events += 1
+        dropped = self.detector.drop_all()
+        self._awaiting_outcome = False
+        self._safe_until = record.index + 1 + self.watchdog.safe_mode_quanta
+        self.processor.set_policy(self.watchdog.safe_policy)
+        self.decisions.append(
+            DecisionLog(
+                quantum_index=record.index,
+                ipc=record.ipc,
+                low_throughput=True,
+                incumbent=record.policy,
+                chosen=self.watchdog.safe_policy,
+                switched=True,
+                reason=(
+                    f"watchdog fallback: {reason}; dropped {dropped} queued DT "
+                    f"task(s); fixed {self.watchdog.safe_policy} for "
+                    f"{self.watchdog.safe_mode_quanta} quanta"
+                ),
+                applied_at_cycle=now,
+            )
+        )
+
     # -- actions --------------------------------------------------------------
     def _apply_switch(self, at_cycle: int, decision, log: DecisionLog, ipc_before: float, qindex: int) -> None:
+        if self.in_safe_mode:
+            # A stale switch completing after the watchdog tripped must not
+            # override the fallback policy.
+            log.reason += " [suppressed: safe mode]"
+            return
         self.processor.set_policy(decision.next_policy)
         log.applied_at_cycle = at_cycle
         self.ledger.record_switch(qindex, log.incumbent, decision.next_policy, ipc_before)
@@ -195,7 +366,11 @@ class ADTSController(SchedulerHook):
             "switches": self.num_switches,
             "benign_probability": self.benign_probability,
             "missed_decisions": self.missed_decisions,
+            "fallback_events": self.fallback_events,
+            "implausible_quanta": self.implausible_quanta,
+            "safe_mode_quanta": self.safe_mode_quanta_spent,
             "dt_instructions": self.detector.instructions_executed,
             "dt_starved_cycles": self.detector.starved_cycles,
+            "dt_dropped_tasks": self.detector.dropped_tasks,
             "dt_mean_task_latency": self.detector.mean_task_latency(),
         }

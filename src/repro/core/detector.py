@@ -75,6 +75,8 @@ class DetectorThread:
         self.instructions_executed = 0
         self.active_cycles = 0
         self.starved_cycles = 0
+        self.dropped_tasks = 0
+        self.dropped_instructions = 0
         self.completions: List[TaskCompletion] = []
 
     @property
@@ -132,8 +134,11 @@ class DetectorThread:
         return consumed
 
     def drop_all(self) -> int:
-        """Abandon queued work (used when a decision becomes stale)."""
+        """Abandon queued work (used when a decision becomes stale, when a
+        fault loses the queue, or when the watchdog re-arms)."""
         dropped = len(self._queue)
+        self.dropped_tasks += dropped
+        self.dropped_instructions += self.backlog_instructions
         self._queue.clear()
         self._remaining = 0
         return dropped

@@ -1,0 +1,9 @@
+"""Seeded fault injection: perturb telemetry, the detector thread, policy
+actuation and the workload, deterministically, to evaluate ADTS's graceful
+degradation (the robustness evaluation layer the paper's §3–§4 discussion
+implies but never builds)."""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultPlan
+
+__all__ = ["FaultPlan", "FaultInjector", "FAULT_KINDS"]

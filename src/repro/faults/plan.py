@@ -1,0 +1,120 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a frozen description of *which* perturbations to
+inject and *how often*, plus its own seed. All randomness during injection
+comes from a :class:`~repro.util.randpool.RandPool` derived from that seed
+through the standard :class:`~repro.util.seeds.SeedSequencer` substream
+machinery, so a (workload seed, fault plan) pair always reproduces the same
+run byte-for-byte — faulty runs are as replayable as clean ones.
+
+Rates are per scheduling-quantum boundary (the granularity at which the
+detector thread reads the machine), matching the failure modes the paper's
+§3–§4 discussion worries about: counters describing a quantum that is
+already over, detector-thread work arriving late or not at all, and policy
+commands that never land.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Sequence
+
+#: CLI-facing fault families (``--faults counters,dt``).
+FAULT_KINDS = ("counters", "dt", "policy", "hangs")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, declarative description of the faults to inject.
+
+    Attributes:
+        seed: root seed of the injector's private random stream.
+        counter_stale_rate: P(per boundary) the detector sees the *previous*
+            quantum's status counters (a stale read).
+        counter_bitflip_rate: P(per boundary) one counter field is read with
+            one bit flipped.
+        dt_drop_rate: P(per boundary) all queued detector-thread work is
+            lost (its completions never fire).
+        dt_delay_rate: P(per boundary) the DT is handed a bogus task of
+            ``dt_delay_instructions`` that delays everything behind it.
+        dt_delay_instructions: size of the injected delay task.
+        dt_starvation_rate: P(per boundary) a forced starvation window
+            begins: the DT sees zero idle slots for
+            ``dt_starvation_cycles`` cycles.
+        dt_starvation_cycles: length of a forced starvation window.
+        policy_drop_rate: P(per switch command) a policy switch is lost.
+        policy_spurious_rate: P(per boundary) a spurious switch to a random
+            policy is applied behind the controller's back.
+        thread_hang_rate: P(per boundary) one workload thread transiently
+            hangs (cannot fetch) for ``thread_hang_cycles`` cycles.
+        thread_hang_cycles: length of a transient thread hang.
+    """
+
+    seed: int = 0
+    counter_stale_rate: float = 0.0
+    counter_bitflip_rate: float = 0.0
+    dt_drop_rate: float = 0.0
+    dt_delay_rate: float = 0.0
+    dt_delay_instructions: int = 4096
+    dt_starvation_rate: float = 0.0
+    dt_starvation_cycles: int = 512
+    policy_drop_rate: float = 0.0
+    policy_spurious_rate: float = 0.0
+    thread_hang_rate: float = 0.0
+    thread_hang_cycles: int = 1024
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name.endswith("_rate") and not 0.0 <= value <= 1.0:
+                raise ValueError(f"FaultPlan.{f.name}={value!r}: must be in [0, 1]")
+            if f.name.endswith(("_cycles", "_instructions")) and value < 0:
+                raise ValueError(f"FaultPlan.{f.name}={value!r}: must be >= 0")
+
+    @property
+    def any_enabled(self) -> bool:
+        """True when at least one fault family has a non-zero rate."""
+        return any(
+            getattr(self, f.name) > 0.0 for f in fields(self) if f.name.endswith("_rate")
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same plan on a different injection stream."""
+        return replace(self, seed=seed)
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_kinds(
+        cls, kinds: Sequence[str], rate: float = 0.25, seed: int = 0
+    ) -> "FaultPlan":
+        """Build a plan enabling whole fault families at a shared rate.
+
+        ``kinds`` is a subset of :data:`FAULT_KINDS` (or ``["all"]``).
+        """
+        chosen = set(kinds)
+        if "all" in chosen:
+            chosen = set(FAULT_KINDS)
+        unknown = chosen - set(FAULT_KINDS)
+        if unknown:
+            raise ValueError(
+                f"unknown fault kind(s) {sorted(unknown)}; known: {list(FAULT_KINDS)} or 'all'"
+            )
+        kw = {}
+        if "counters" in chosen:
+            kw["counter_stale_rate"] = rate
+            kw["counter_bitflip_rate"] = rate
+        if "dt" in chosen:
+            kw["dt_drop_rate"] = rate
+            kw["dt_delay_rate"] = rate
+            kw["dt_starvation_rate"] = rate
+        if "policy" in chosen:
+            kw["policy_drop_rate"] = rate
+            kw["policy_spurious_rate"] = rate
+        if "hangs" in chosen:
+            kw["thread_hang_rate"] = rate
+        return cls(seed=seed, **kw)
+
+    @classmethod
+    def storm(cls, seed: int = 0, rate: float = 0.25) -> "FaultPlan":
+        """Everything at once — the resilience experiment's stress preset."""
+        return cls.from_kinds(["all"], rate=rate, seed=seed)

@@ -1,6 +1,17 @@
 """Experiment harness: runners, sweeps, sampling and report formatting for
-regenerating every table and figure of the paper's evaluation (§5–§6)."""
+regenerating every table and figure of the paper's evaluation (§5–§6),
+hardened with a structured error taxonomy, per-run timeout/retry, and a
+JSONL run journal for crash-resilient checkpoint/resume sweeps."""
 
+from repro.harness.errors import (
+    ConfigError,
+    HarnessError,
+    JournalError,
+    RunFailedError,
+    RunTimeoutError,
+)
+from repro.harness.journal import RunJournal
+from repro.harness.resilience import RetryPolicy, guarded_run
 from repro.harness.runner import RunConfig, RunResult, run_fixed, run_adts, run_mix_average
 from repro.harness.sampling import SampledRunner, SampleSpec
 from repro.harness.sweep import SweepResult, threshold_type_grid
@@ -11,12 +22,21 @@ from repro.harness.experiments import (
     experiment_fig7,
     experiment_fig8,
     experiment_headline,
+    experiment_resilience,
     experiment_similarity,
     experiment_thread_scaling,
     experiment_detector_overhead,
 )
 
 __all__ = [
+    "HarnessError",
+    "ConfigError",
+    "RunTimeoutError",
+    "RunFailedError",
+    "JournalError",
+    "RunJournal",
+    "RetryPolicy",
+    "guarded_run",
     "RunConfig",
     "RunResult",
     "run_fixed",
@@ -34,6 +54,7 @@ __all__ = [
     "experiment_fig7",
     "experiment_fig8",
     "experiment_headline",
+    "experiment_resilience",
     "experiment_similarity",
     "experiment_thread_scaling",
     "experiment_detector_overhead",

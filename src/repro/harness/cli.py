@@ -9,8 +9,13 @@ Commands map one-to-one onto the experiment index (DESIGN.md §4):
     headline   ADTS (thr 2, Type 3) vs fixed ICOUNT
     scaling    throughput vs thread count
     oracle     the clairvoyant per-quantum upper bound
+    resilience ADTS under a seeded fault storm vs. clean
     mixes      list the 13 mixes
     policies   list the Table-1 policies
+
+``run`` accepts ``--faults counters,dt,policy,hangs`` (or ``all``) to
+inject seeded faults; ``grid`` accepts ``--journal PATH`` / ``--resume``
+for crash-resilient checkpoint/resume sweeps.
 """
 
 from __future__ import annotations
@@ -21,15 +26,19 @@ import sys
 from dataclasses import replace
 from typing import List, Optional
 
+from repro.faults import FaultPlan
 from repro.harness.experiments import (
     ExperimentDefaults,
     experiment_fig8,
     experiment_headline,
+    experiment_resilience,
     experiment_table1,
     experiment_thread_scaling,
     run_grid,
 )
+from repro.harness.journal import RunJournal
 from repro.harness.report import format_series, format_table
+from repro.harness.resilience import RetryPolicy
 from repro.harness.runner import RunConfig, run_adts, run_fixed
 from repro.policies.registry import POLICY_NAMES
 from repro.workloads.mixes import MIXES
@@ -56,23 +65,43 @@ def _emit(args, payload: dict, text: str) -> None:
     print(json.dumps(payload, indent=2, default=str) if args.json else text)
 
 
+def _fault_plan(args) -> Optional[FaultPlan]:
+    """Build a FaultPlan from `--faults`/`--fault-rate`/`--fault-seed`."""
+    if not args.faults:
+        return None
+    kinds = [k.strip() for k in args.faults.split(",") if k.strip()]
+    seed = args.fault_seed if args.fault_seed is not None else args.seed
+    return FaultPlan.from_kinds(kinds, rate=args.fault_rate, seed=seed)
+
+
 def cmd_run(args) -> None:
-    """`repro run`: one simulation (fixed or ADTS)."""
+    """`repro run`: one simulation (fixed or ADTS), optionally faulted."""
     cfg = RunConfig(
         mix=args.mix, quantum_cycles=args.quantum, quanta=args.quanta,
         warmup_quanta=args.warmup, seed=args.seed, policy=args.policy,
     )
+    plan = _fault_plan(args)
     if args.adts:
         from repro.core.thresholds import ThresholdConfig
 
         result = run_adts(cfg, heuristic=args.heuristic,
-                          thresholds=ThresholdConfig(ipc_threshold=args.threshold))
+                          thresholds=ThresholdConfig(ipc_threshold=args.threshold),
+                          fault_plan=plan)
         text = (f"{args.mix} ADTS({args.heuristic}, thr={args.threshold}): "
                 f"IPC {result.ipc:.3f}, {result.scheduler.get('switches', 0)} switches, "
                 f"P(benign) {result.scheduler.get('benign_probability', 0.0):.2f}")
+        if plan is not None:
+            text += (f"\nfaults injected: {result.scheduler.get('faults_injected', 0)} "
+                     f"{result.scheduler.get('fault_counts', {})}\n"
+                     f"watchdog: {result.scheduler.get('fallback_events', 0)} fallback(s), "
+                     f"{result.scheduler.get('implausible_quanta', 0)} implausible quanta, "
+                     f"{result.scheduler.get('safe_mode_quanta', 0)} safe-mode quanta")
     else:
-        result = run_fixed(cfg)
+        result = run_fixed(cfg, fault_plan=plan)
         text = f"{args.mix} fixed {args.policy}: IPC {result.ipc:.3f}"
+        if plan is not None:
+            text += (f"\nfaults injected: {result.scheduler.get('faults_injected', 0)} "
+                     f"{result.scheduler.get('fault_counts', {})}")
     _emit(args, {"ipc": result.ipc, **result.scheduler}, text)
 
 
@@ -86,7 +115,19 @@ def cmd_table1(args) -> None:
 def cmd_grid(args) -> None:
     """`repro grid`: the Figure 7/8 sweep on the detailed engine."""
     defaults = _defaults(args)
-    grid = run_grid(defaults, quick=not args.full)
+    journal = None
+    if args.journal:
+        journal = RunJournal(args.journal)
+        if args.resume:
+            loaded = journal.load()
+            print(f"resuming: {loaded} journaled cell(s) will be skipped",
+                  file=sys.stderr)
+        else:
+            journal.clear()
+    retry = None
+    if args.retries > 1 or args.run_timeout is not None:
+        retry = RetryPolicy(attempts=args.retries, timeout_s=args.run_timeout)
+    grid = run_grid(defaults, quick=not args.full, journal=journal, retry=retry)
     from repro.harness.runner import run_mix_average
 
     baseline = run_mix_average(grid.mixes, defaults.base_run())["mean_ipc"]
@@ -139,6 +180,26 @@ def cmd_headline(args) -> None:
     _emit(args, out, text)
 
 
+def cmd_resilience(args) -> None:
+    """`repro resilience`: ADTS under a seeded fault storm vs. clean."""
+    out = experiment_resilience(
+        _defaults(args), mix=args.mix, threshold=args.threshold,
+        heuristic=args.heuristic, fault_rate=args.fault_rate,
+        fault_seed=args.fault_seed,
+    )
+    text = (
+        f"{args.mix} clean IPC {out['clean_ipc']:.3f} -> "
+        f"faulty IPC {out['faulty_ipc']:.3f} "
+        f"(degradation {out['ipc_degradation']:.1%})\n"
+        f"faults injected: {out['faults_injected']} {out['fault_counts']}\n"
+        f"watchdog: {out['fallback_events']} fallback(s), "
+        f"{out['implausible_quanta']} implausible quanta, "
+        f"{out['safe_mode_quanta']} safe-mode quanta, "
+        f"{out['missed_decisions']} missed decisions"
+    )
+    _emit(args, out, text)
+
+
 def cmd_scaling(args) -> None:
     """`repro scaling`: throughput vs thread count."""
     out = experiment_thread_scaling(_defaults(args), mix=args.mix)
@@ -188,12 +249,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--adts", action="store_true")
     p.add_argument("--heuristic", default="type3")
     p.add_argument("--threshold", type=float, default=2.0)
+    p.add_argument("--faults", default=None, metavar="KINDS",
+                   help="inject seeded faults: comma list of "
+                        "counters,dt,policy,hangs (or 'all')")
+    p.add_argument("--fault-rate", type=float, default=0.25,
+                   help="per-quantum-boundary fault probability")
+    p.add_argument("--fault-seed", type=int, default=None,
+                   help="fault-stream seed (default: the run seed)")
     _add_common(p)
     p.set_defaults(func=cmd_run)
 
     for name, func, extra in (
         ("table1", cmd_table1, ()),
-        ("grid", cmd_grid, ()),
+        ("grid", cmd_grid, ("--journal",)),
         ("headline", cmd_headline, ("--threshold", "--heuristic")),
         ("scaling", cmd_scaling, ("mix",)),
         ("oracle", cmd_oracle, ("mix",)),
@@ -204,10 +272,28 @@ def build_parser() -> argparse.ArgumentParser:
         if "--threshold" in extra:
             p.add_argument("--threshold", type=float, default=2.0)
             p.add_argument("--heuristic", default="type3")
+        if "--journal" in extra:
+            p.add_argument("--journal", default=None, metavar="PATH",
+                           help="JSONL run journal for checkpoint/resume")
+            p.add_argument("--resume", action="store_true",
+                           help="skip cells already in the journal")
+            p.add_argument("--retries", type=int, default=1,
+                           help="attempts per cell before giving up")
+            p.add_argument("--run-timeout", type=float, default=None,
+                           help="per-cell wall-clock budget in seconds")
         p.add_argument("--full", action="store_true",
                        help="all 13 mixes (slow) instead of the quick set")
         _add_common(p)
         p.set_defaults(func=func)
+
+    p = sub.add_parser("resilience", help="ADTS under a seeded fault storm")
+    p.add_argument("mix", nargs="?", default="mix05")
+    p.add_argument("--threshold", type=float, default=2.0)
+    p.add_argument("--heuristic", default="type3")
+    p.add_argument("--fault-rate", type=float, default=0.35)
+    p.add_argument("--fault-seed", type=int, default=0)
+    _add_common(p)
+    p.set_defaults(func=cmd_resilience)
 
     p = sub.add_parser("fastgrid", help="full grid on the fast model")
     p.add_argument("--fast-quanta", type=int, default=96)

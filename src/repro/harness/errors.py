@@ -1,0 +1,58 @@
+"""Structured error taxonomy for the experiment harness.
+
+Every failure mode the harness can produce maps onto one exception class,
+so sweep drivers and CI wrappers can react per-category (don't retry a
+``ConfigError``; do retry a ``RunTimeoutError``) instead of pattern-matching
+message strings. All classes derive from :class:`HarnessError`; the two
+that correspond to built-in categories also subclass the matching built-in
+(``ValueError`` / ``TimeoutError``) so pre-existing ``except`` clauses keep
+working.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class HarnessError(Exception):
+    """Base class for all harness-raised failures."""
+
+
+class ConfigError(HarnessError, ValueError):
+    """A run configuration field failed validation at construction time.
+
+    Carries the offending field so callers (and error messages) name it
+    precisely instead of failing deep inside ``build_processor``.
+    """
+
+    def __init__(self, field: str, value: object, requirement: str) -> None:
+        self.field = field
+        self.value = value
+        self.requirement = requirement
+        super().__init__(f"invalid RunConfig.{field}={value!r}: must be {requirement}")
+
+
+class RunTimeoutError(HarnessError, TimeoutError):
+    """A single simulation run exceeded its wall-clock budget."""
+
+    def __init__(self, label: str, timeout_s: float) -> None:
+        self.label = label
+        self.timeout_s = timeout_s
+        super().__init__(f"{label}: run exceeded {timeout_s:g}s wall-clock budget")
+
+
+class RunFailedError(HarnessError):
+    """A run kept failing after its bounded retries were exhausted.
+
+    The last underlying exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, label: str, attempts: int, last: Optional[BaseException] = None) -> None:
+        self.label = label
+        self.attempts = attempts
+        detail = f": {last}" if last is not None else ""
+        super().__init__(f"{label}: failed after {attempts} attempt(s){detail}")
+
+
+class JournalError(HarnessError):
+    """The run journal contains undecodable entries (not a truncated tail)."""

@@ -14,6 +14,8 @@ from typing import Dict, List, Optional, Sequence
 from repro import build_processor
 from repro.core.adts import ADTSController
 from repro.core.thresholds import ThresholdConfig
+from repro.faults import FaultPlan
+from repro.harness.resilience import RetryPolicy, guarded_run
 from repro.harness.runner import RunConfig, run_adts, run_fixed
 from repro.harness.sweep import SweepResult, threshold_type_grid
 from repro.policies.registry import POLICY_NAMES
@@ -57,6 +59,7 @@ def experiment_table1(
     defaults: ExperimentDefaults = DEFAULTS,
     quick: bool = True,
     policies: Optional[Sequence[str]] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> Dict:
     """Fixed-policy comparison across mixes. Checks the Tullsen orderings:
     ICOUNT best on average, RR worst."""
@@ -66,7 +69,16 @@ def experiment_table1(
     rows = []
     means = {}
     for policy in policies:
-        ipcs = [run_fixed(replace(base, mix=mix, policy=policy)).ipc for mix in mixes]
+        ipcs = [
+            guarded_run(
+                lambda mix=mix, policy=policy: run_fixed(
+                    replace(base, mix=mix, policy=policy)
+                ),
+                retry=retry,
+                label=f"table1[{policy},{mix}]",
+            ).ipc
+            for mix in mixes
+        ]
         mean = sum(ipcs) / len(ipcs)
         means[policy] = mean
         rows.append({"policy": policy, "mean_ipc": mean, "per_mix": dict(zip(mixes, ipcs))})
@@ -116,14 +128,20 @@ def experiment_fig8(sweep: SweepResult, icount_baseline: float) -> Dict:
 
 
 def run_grid(
-    defaults: ExperimentDefaults = DEFAULTS, quick: bool = True
+    defaults: ExperimentDefaults = DEFAULTS,
+    quick: bool = True,
+    journal=None,
+    retry: Optional[RetryPolicy] = None,
 ) -> SweepResult:
-    """The shared F7/F8 grid."""
+    """The shared F7/F8 grid (optionally journaled/guarded — see
+    :func:`~repro.harness.sweep.threshold_type_grid`)."""
     return threshold_type_grid(
         defaults.base_run(),
         defaults.mixes(quick),
         thresholds=defaults.thresholds,
         heuristics=defaults.heuristics,
+        journal=journal,
+        retry=retry,
     )
 
 
@@ -135,6 +153,7 @@ def experiment_headline(
     quick: bool = True,
     threshold: float = 2.0,
     heuristic: str = "type3",
+    retry: Optional[RetryPolicy] = None,
 ) -> Dict:
     """ADTS at the paper's best setting vs. fixed ICOUNT, per mix."""
     mixes = defaults.mixes(quick)
@@ -142,8 +161,16 @@ def experiment_headline(
     th = ThresholdConfig(ipc_threshold=threshold)
     per_mix = {}
     for mix in mixes:
-        fixed = run_fixed(replace(base, mix=mix, policy="icount"))
-        adts = run_adts(replace(base, mix=mix), heuristic=heuristic, thresholds=th)
+        fixed = guarded_run(
+            lambda mix=mix: run_fixed(replace(base, mix=mix, policy="icount")),
+            retry=retry, label=f"headline-fixed[{mix}]",
+        )
+        adts = guarded_run(
+            lambda mix=mix: run_adts(
+                replace(base, mix=mix), heuristic=heuristic, thresholds=th
+            ),
+            retry=retry, label=f"headline-adts[{mix}]",
+        )
         per_mix[mix] = {
             "icount_ipc": fixed.ipc,
             "adts_ipc": adts.ipc,
@@ -255,4 +282,47 @@ def experiment_detector_overhead(
         "dt_overhead_ipc_cost": (
             instant.ipc / real.ipc - 1.0 if real.ipc else 0.0
         ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# S7 — resilience: ADTS under a seeded fault storm vs. a clean run.
+# ---------------------------------------------------------------------------
+def experiment_resilience(
+    defaults: ExperimentDefaults = DEFAULTS,
+    mix: str = "mix05",
+    threshold: float = 2.0,
+    heuristic: str = "type3",
+    fault_rate: float = 0.35,
+    fault_seed: int = 0,
+) -> Dict:
+    """Graceful-degradation check: the same (mix, seed) run clean and under
+    a full fault storm (stale/flipped counters, DT loss and starvation,
+    dropped/spurious policy commands, transient thread hangs).
+
+    Reports the IPC degradation and the watchdog's reaction — the claim
+    under test is that the controller survives (no crash), detects the
+    corruption, and bounds the damage by falling back to fixed ICOUNT.
+    """
+    base = replace(defaults.base_run(), mix=mix)
+    th = ThresholdConfig(ipc_threshold=threshold)
+    clean = run_adts(base, heuristic=heuristic, thresholds=th)
+    plan = FaultPlan.storm(seed=fault_seed, rate=fault_rate)
+    faulty = run_adts(base, heuristic=heuristic, thresholds=th, fault_plan=plan)
+    return {
+        "experiment": "S7",
+        "mix": mix,
+        "fault_rate": fault_rate,
+        "fault_seed": fault_seed,
+        "clean_ipc": clean.ipc,
+        "faulty_ipc": faulty.ipc,
+        "ipc_degradation": (
+            1.0 - faulty.ipc / clean.ipc if clean.ipc else 0.0
+        ),
+        "faults_injected": faulty.scheduler.get("faults_injected", 0),
+        "fault_counts": faulty.scheduler.get("fault_counts", {}),
+        "fallback_events": faulty.scheduler.get("fallback_events", 0),
+        "implausible_quanta": faulty.scheduler.get("implausible_quanta", 0),
+        "safe_mode_quanta": faulty.scheduler.get("safe_mode_quanta", 0),
+        "missed_decisions": faulty.scheduler.get("missed_decisions", 0),
     }

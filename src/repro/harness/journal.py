@@ -1,0 +1,92 @@
+"""JSONL run journal: checkpoint/resume for long sweeps.
+
+Each completed sweep cell is appended as one JSON line
+``{"key": <canonical-key-string>, "payload": {...}}`` and flushed+fsynced
+immediately, so a killed sweep loses at most the cell that was in flight.
+On resume the journal is loaded and every journaled cell is served from the
+stored payload instead of being re-simulated; because all simulations are
+seed-deterministic, the resumed aggregate is identical to an uninterrupted
+run.
+
+A process killed mid-write can leave a truncated final line; that tail is
+silently discarded (its cell simply re-runs). An undecodable line *before*
+the tail means real corruption and raises
+:class:`~repro.harness.errors.JournalError` rather than quietly dropping
+completed work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.harness.errors import JournalError
+
+
+class RunJournal:
+    """Append-only JSONL journal of completed run cells."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._entries: Dict[str, dict] = {}
+
+    @staticmethod
+    def cell_key(**fields: object) -> str:
+        """Canonical, order-independent key string for one cell."""
+        return json.dumps(fields, sort_keys=True, default=str)
+
+    # -- persistence --------------------------------------------------------
+    def load(self) -> int:
+        """Load journaled cells from disk; returns the number loaded.
+
+        Tolerates a truncated last line (mid-write kill); raises
+        :class:`JournalError` on corruption anywhere else.
+        """
+        self._entries.clear()
+        if not self.path.exists():
+            return 0
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                key, payload = entry["key"], entry["payload"]
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                if i == len(lines) - 1:
+                    break  # truncated tail from a killed run: re-run that cell
+                raise JournalError(
+                    f"{self.path}: undecodable journal line {i + 1}: {line[:80]!r}"
+                ) from exc
+            self._entries[key] = payload
+        return len(self._entries)
+
+    def record(self, key: str, payload: dict) -> None:
+        """Durably append one completed cell."""
+        self._entries[key] = payload
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps({"key": key, "payload": payload}, default=str)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def clear(self) -> None:
+        """Forget all entries and remove the on-disk file (fresh sweep)."""
+        self._entries.clear()
+        if self.path.exists():
+            self.path.unlink()
+
+    # -- lookup -------------------------------------------------------------
+    def has(self, key: str) -> bool:
+        """True when ``key``'s cell has a journaled payload."""
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[dict]:
+        """The journaled payload for ``key``, or None if absent."""
+        return self._entries.get(key)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,95 @@
+"""Per-run timeout and bounded retry with backoff.
+
+Long sweeps multiply any single-run flakiness by the grid size: one hung or
+crashed cell used to kill hours of work. :func:`guarded_run` wraps one
+simulation call with (a) an optional wall-clock timeout and (b) a bounded
+retry loop with exponential backoff, converting persistent failure into a
+single typed :class:`~repro.harness.errors.RunFailedError` the sweep driver
+can record and re-raise.
+
+The timeout runs the call on a worker thread and abandons it on expiry
+(CPython offers no safe way to kill a compute-bound thread); the abandoned
+worker finishes in the background and its result is discarded. That is the
+standard trade-off for in-process timeouts and is acceptable here because a
+timed-out cell is rare and the process exits after the sweep.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+from repro.harness.errors import ConfigError, RunFailedError, RunTimeoutError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry knobs for one guarded run.
+
+    Attributes:
+        attempts: total tries (1 = no retry).
+        backoff_s: sleep before the first retry.
+        backoff_factor: multiplier applied to the sleep after each retry.
+        timeout_s: per-attempt wall-clock budget (None = unbounded).
+    """
+
+    attempts: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+
+
+def _call_with_timeout(fn: Callable[[], T], timeout_s: float, label: str) -> T:
+    pool = concurrent.futures.ThreadPoolExecutor(max_workers=1)
+    try:
+        future = pool.submit(fn)
+        try:
+            return future.result(timeout=timeout_s)
+        except concurrent.futures.TimeoutError:
+            raise RunTimeoutError(label, timeout_s) from None
+    finally:
+        pool.shutdown(wait=False)
+
+
+def guarded_run(
+    fn: Callable[[], T],
+    retry: Optional[RetryPolicy] = None,
+    label: str = "run",
+) -> T:
+    """Call ``fn`` under ``retry``'s timeout/retry policy.
+
+    ``ConfigError`` propagates immediately (retrying an invalid config can
+    never succeed). Any other exception — including a per-attempt timeout —
+    is retried up to ``retry.attempts`` times; exhaustion raises
+    :class:`RunFailedError` with the final failure chained.
+    """
+    policy = retry or RetryPolicy()
+    delay = policy.backoff_s
+    last: Optional[BaseException] = None
+    for attempt in range(1, policy.attempts + 1):
+        try:
+            if policy.timeout_s is None:
+                return fn()
+            return _call_with_timeout(fn, policy.timeout_s, label)
+        except ConfigError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — the guard exists to contain these
+            last = exc
+            if attempt < policy.attempts and delay > 0:
+                time.sleep(delay)
+                delay *= policy.backoff_factor
+    raise RunFailedError(label, policy.attempts, last) from last

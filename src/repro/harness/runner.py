@@ -6,8 +6,11 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro import build_processor
-from repro.core.adts import ADTSController
+from repro.core.adts import ADTSController, WatchdogConfig
 from repro.core.thresholds import ThresholdConfig
+from repro.faults import FaultInjector, FaultPlan
+from repro.harness.errors import ConfigError
+from repro.policies.registry import POLICY_NAMES
 from repro.smt.config import SMTConfig
 
 
@@ -17,6 +20,10 @@ class RunConfig:
 
     ``warmup_quanta`` are simulated but excluded from the reported IPC —
     the stand-in for the paper's fast-forwarding into steady state.
+
+    Fields are validated at construction; a bad value raises
+    :class:`~repro.harness.errors.ConfigError` naming the field, instead of
+    surfacing as an opaque failure deep inside ``build_processor``.
     """
 
     mix: Union[str, Sequence[str]] = "mix01"
@@ -27,6 +34,18 @@ class RunConfig:
     warmup_quanta: int = 4
     policy: str = "icount"
     machine: Optional[SMTConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 1:
+            raise ConfigError("num_threads", self.num_threads, ">= 1")
+        if self.quanta < 1:
+            raise ConfigError("quanta", self.quanta, ">= 1")
+        if self.warmup_quanta < 0:
+            raise ConfigError("warmup_quanta", self.warmup_quanta, ">= 0")
+        if self.quantum_cycles <= 0:
+            raise ConfigError("quantum_cycles", self.quantum_cycles, "> 0")
+        if self.policy not in POLICY_NAMES:
+            raise ConfigError("policy", self.policy, f"one of {POLICY_NAMES}")
 
     def total_quanta(self) -> int:
         """Warmup plus measured quanta."""
@@ -67,17 +86,33 @@ def _measure(proc, cfg: RunConfig, scheduler_summary: Dict) -> RunResult:
     )
 
 
-def run_fixed(cfg: RunConfig) -> RunResult:
+def _maybe_inject(hook, fault_plan: Optional[FaultPlan]):
+    """Wrap ``hook`` in a FaultInjector when a plan with live faults is given.
+
+    Returns ``(hook_to_install, injector_or_None)``.
+    """
+    if fault_plan is None or not fault_plan.any_enabled:
+        return hook, None
+    injector = FaultInjector(fault_plan, hook)
+    return injector, injector
+
+
+def run_fixed(cfg: RunConfig, fault_plan: Optional[FaultPlan] = None) -> RunResult:
     """Run under the fixed fetch policy named in ``cfg.policy``."""
+    hook, injector = _maybe_inject(None, fault_plan)
     proc = build_processor(
         mix=cfg.mix,
         num_threads=cfg.num_threads,
         seed=cfg.seed,
         config=cfg.machine,
         policy=cfg.policy,
+        hook=hook,
         quantum_cycles=cfg.quantum_cycles,
     )
-    return _measure(proc, cfg, {"mode": "fixed", "policy": cfg.policy})
+    result = _measure(proc, cfg, {"mode": "fixed", "policy": cfg.policy})
+    if injector is not None:
+        result.scheduler.update(injector.summary())
+    return result
 
 
 def run_adts(
@@ -85,22 +120,33 @@ def run_adts(
     heuristic: str = "type3",
     thresholds: Optional[ThresholdConfig] = None,
     instant_dt: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    watchdog: Optional[WatchdogConfig] = None,
 ) -> RunResult:
-    """Run under ADTS with the given heuristic and thresholds."""
+    """Run under ADTS with the given heuristic and thresholds.
+
+    ``fault_plan`` (optional) interposes a seeded
+    :class:`~repro.faults.FaultInjector` between the pipeline and the
+    controller; ``watchdog`` overrides the controller's fallback knobs.
+    """
     controller = ADTSController(
-        heuristic=heuristic, thresholds=thresholds, instant_dt=instant_dt
+        heuristic=heuristic, thresholds=thresholds, instant_dt=instant_dt,
+        watchdog=watchdog,
     )
+    hook, injector = _maybe_inject(controller, fault_plan)
     proc = build_processor(
         mix=cfg.mix,
         num_threads=cfg.num_threads,
         seed=cfg.seed,
         config=cfg.machine,
         policy="icount",  # ADTS's initial/default policy (§4.3.3)
-        hook=controller,
+        hook=hook,
         quantum_cycles=cfg.quantum_cycles,
     )
     result = _measure(proc, cfg, {"mode": "adts", "heuristic": heuristic})
     result.scheduler.update(controller.summary())
+    if injector is not None:
+        result.scheduler.update(injector.summary())
     return result
 
 
@@ -113,6 +159,8 @@ def run_mix_average(
     """Average a configuration over several mixes (the paper reports
     'Average for All Combinations'). Fixed policy when ``heuristic`` is
     None, else ADTS."""
+    if not mixes:
+        raise ValueError("mixes must be a non-empty sequence of mix names")
     ipcs: List[float] = []
     switches = 0
     benign_events = 0
@@ -130,7 +178,7 @@ def run_mix_average(
             judged_events += n
         ipcs.append(result.ipc)
     return {
-        "mean_ipc": sum(ipcs) / len(ipcs) if ipcs else 0.0,
+        "mean_ipc": sum(ipcs) / len(ipcs),
         "per_mix_ipc": dict(zip(mixes, ipcs)),
         "switches": switches,
         "benign_probability": benign_events / judged_events if judged_events else 0.0,

@@ -8,9 +8,11 @@ One grid run produces everything both figures plot — per-cell mean IPC
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.thresholds import ThresholdConfig
+from repro.harness.journal import RunJournal
+from repro.harness.resilience import RetryPolicy, guarded_run
 from repro.harness.runner import RunConfig, run_adts
 
 Cell = Tuple[float, str]  # (ipc_threshold, heuristic)
@@ -62,30 +64,75 @@ class SweepResult:
         return max(self.ipc, key=self.ipc.get)
 
 
+def _grid_cell_key(base: RunConfig, m: float, h: str, mix: str) -> str:
+    """Journal key identifying one grid cell *and* the run parameters that
+    determine its result — a resumed sweep with different parameters must
+    not silently reuse stale cells."""
+    return RunJournal.cell_key(
+        kind="grid",
+        threshold=m,
+        heuristic=h,
+        mix=mix,
+        seed=base.seed,
+        num_threads=base.num_threads,
+        quantum_cycles=base.quantum_cycles,
+        quanta=base.quanta,
+        warmup_quanta=base.warmup_quanta,
+    )
+
+
+def _run_cell(
+    base: RunConfig, m: float, h: str, mix: str, retry: Optional[RetryPolicy]
+) -> Dict:
+    th = ThresholdConfig(ipc_threshold=m)
+    r = guarded_run(
+        lambda: run_adts(replace(base, mix=mix), heuristic=h, thresholds=th),
+        retry=retry,
+        label=f"grid[thr={m:g},{h},{mix}]",
+    )
+    return {
+        "ipc": r.ipc,
+        "switches": r.scheduler.get("switches", 0),
+        "benign_probability": r.scheduler.get("benign_probability", 0.0),
+    }
+
+
 def threshold_type_grid(
     base: RunConfig,
     mixes: Sequence[str],
     thresholds: Sequence[float] = (1.0, 2.0, 3.0, 4.0, 5.0),
     heuristics: Sequence[str] = ("type1", "type2", "type3", "type3g", "type4"),
+    journal: Optional[RunJournal] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> SweepResult:
     """Run the full grid. Cost = len(thresholds) x len(heuristics) x
-    len(mixes) simulations of ``base.total_quanta()`` quanta each."""
+    len(mixes) simulations of ``base.total_quanta()`` quanta each.
+
+    With a ``journal``, every finished cell is durably appended and any
+    already-journaled cell is served from the journal instead of re-running
+    — a killed sweep resumes from the last completed cell (load the journal
+    before calling). ``retry`` adds per-cell timeout/bounded-retry.
+    """
     result = SweepResult(
         thresholds=list(thresholds), heuristics=list(heuristics), mixes=list(mixes)
     )
     for m in thresholds:
-        th = ThresholdConfig(ipc_threshold=m)
         for h in heuristics:
             ipcs: List[float] = []
             total_switches = 0
             benign_weighted = 0.0
             for mix in mixes:
-                r = run_adts(replace(base, mix=mix), heuristic=h, thresholds=th)
-                ipcs.append(r.ipc)
-                result.per_mix_ipc[(m, h, mix)] = r.ipc
-                n = r.scheduler.get("switches", 0)
+                key = _grid_cell_key(base, m, h, mix)
+                payload = journal.get(key) if journal is not None else None
+                if payload is None:
+                    payload = _run_cell(base, m, h, mix, retry)
+                    if journal is not None:
+                        journal.record(key, payload)
+                ipcs.append(payload["ipc"])
+                result.per_mix_ipc[(m, h, mix)] = payload["ipc"]
+                n = payload["switches"]
                 total_switches += n
-                benign_weighted += r.scheduler.get("benign_probability", 0.0) * n
+                benign_weighted += payload["benign_probability"] * n
             result.ipc[(m, h)] = sum(ipcs) / len(ipcs)
             result.switches[(m, h)] = total_switches
             result.benign[(m, h)] = (

@@ -160,6 +160,21 @@ class QuantumSnapshot:
         """JSON-friendly view."""
         return {name: getattr(self, name) for name in self.__slots__}
 
+    def replace(self, **overrides: int) -> "QuantumSnapshot":
+        """A copy with some fields overridden (fault injection and
+        what-if analysis; the snapshot itself stays immutable)."""
+        data = self.as_dict()
+        data.update(overrides)
+        return QuantumSnapshot(**data)
+
+    def is_non_negative(self) -> bool:
+        """Basic integrity: hardware event counters can never go negative.
+
+        A negative field means the reading is corrupt (or a model bug);
+        the ADTS watchdog treats either as implausible telemetry.
+        """
+        return all(getattr(self, name) >= 0 for name in self.__slots__)
+
 
 class CounterBank:
     """The counters of all hardware contexts, plus aggregates."""

@@ -260,6 +260,10 @@ class SMTProcessor:
         self._dispatch(now)
         idle = self._fetch(now)
         consumed = self.hook.on_cycle(now, idle)
+        if consumed < 0 or consumed > idle:
+            # A misbehaving hook must not corrupt the slot accounting the
+            # utilization analyses are built on: clamp to the physical range.
+            consumed = min(max(consumed, 0), idle)
         self.stats.idle_fetch_slots += idle - consumed
         self.stats.detector_slots_consumed += consumed
         self.hierarchy.tick(now)

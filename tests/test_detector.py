@@ -91,3 +91,50 @@ class TestDetectorThread:
 
     def test_mean_latency_empty(self):
         assert DetectorThread().mean_task_latency() == 0.0
+
+    def test_drop_all_mid_task_discards_partial_progress(self):
+        dt = DetectorThread(width=4)
+        done = []
+        dt.enqueue(DetectorTask("t", 10, on_complete=lambda at: done.append(at)), now=0)
+        dt.on_cycle(1, idle_slots=4)  # 4 of 10 instructions retired
+        assert dt.drop_all() == 1
+        assert dt.dropped_tasks == 1
+        assert dt.dropped_instructions == 6  # only the unexecuted remainder
+        assert not dt.busy
+        # The dropped task's completion never fires, even with idle slots.
+        assert dt.on_cycle(2, idle_slots=8) == 0
+        assert not done
+        assert not dt.completions
+
+    def test_drop_all_telemetry_accumulates(self):
+        dt = DetectorThread()
+        dt.enqueue(DetectorTask("a", 10), 0)
+        dt.drop_all()
+        dt.enqueue(DetectorTask("b", 5), 0)
+        dt.enqueue(DetectorTask("c", 5), 0)
+        dt.drop_all()
+        assert dt.dropped_tasks == 3
+        assert dt.dropped_instructions == 20
+        assert dt.drop_all() == 0  # empty queue: nothing more to count
+        assert dt.dropped_tasks == 3
+
+    def test_starvation_then_recovery(self):
+        dt = DetectorThread(width=4)
+        done = []
+        dt.enqueue(DetectorTask("t", 4, on_complete=lambda at: done.append(at)), now=0)
+        dt.on_cycle(1, idle_slots=0)
+        dt.on_cycle(2, idle_slots=0)
+        assert dt.starved_cycles == 2
+        assert dt.on_cycle(3, idle_slots=4) == 4
+        assert done == [3]
+        # Starvation only counts while work is pending.
+        dt.on_cycle(4, idle_slots=0)
+        assert dt.starved_cycles == 2
+
+    def test_instant_mode_mean_latency_is_zero(self):
+        dt = DetectorThread(instant=True)
+        dt.enqueue(DetectorTask("a", 100), now=3)
+        dt.enqueue(DetectorTask("b", 200), now=9)
+        assert len(dt.completions) == 2
+        assert dt.mean_task_latency() == 0.0
+        assert dt.starved_cycles == 0

@@ -1,0 +1,227 @@
+"""Tests for harness hardening: RunConfig validation, retry/timeout
+guards, the JSONL run journal, and checkpoint/resume sweeps."""
+
+import time
+
+import pytest
+
+from repro.harness import run_mix_average
+from repro.harness.errors import (
+    ConfigError,
+    HarnessError,
+    JournalError,
+    RunFailedError,
+    RunTimeoutError,
+)
+from repro.harness.journal import RunJournal
+from repro.harness.resilience import RetryPolicy, guarded_run
+from repro.harness.runner import RunConfig
+from repro.harness.sweep import threshold_type_grid
+from repro.smt.config import SMTConfig
+
+
+def tiny_run(**over):
+    base = dict(
+        mix=["gzip", "mcf"],
+        num_threads=2,
+        quantum_cycles=256,
+        quanta=2,
+        warmup_quanta=1,
+        machine=SMTConfig(num_threads=2),
+    )
+    base.update(over)
+    return RunConfig(**base)
+
+
+class TestRunConfigValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_threads", 0),
+            ("quanta", 0),
+            ("warmup_quanta", -1),
+            ("quantum_cycles", 0),
+            ("policy", "round_robin_of_doom"),
+        ],
+    )
+    def test_bad_field_raises_config_error_naming_it(self, field, value):
+        with pytest.raises(ConfigError) as exc:
+            tiny_run(**{field: value})
+        assert exc.value.field == field
+        assert field in str(exc.value)
+
+    def test_config_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            tiny_run(num_threads=-3)
+        with pytest.raises(HarnessError):
+            tiny_run(quanta=-1)
+
+    def test_valid_config_constructs(self):
+        cfg = tiny_run(warmup_quanta=0)
+        assert cfg.total_quanta() == 2
+
+
+class TestRunMixAverage:
+    def test_empty_mixes_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            run_mix_average([], tiny_run())
+
+    def test_single_mix_average(self):
+        avg = run_mix_average(["mix01"], tiny_run(mix="mix01"))
+        assert avg["mean_ipc"] > 0
+
+
+class TestGuardedRun:
+    def test_passthrough_on_success(self):
+        assert guarded_run(lambda: 42) == 42
+
+    def test_retries_transient_failures(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        policy = RetryPolicy(attempts=3, backoff_s=0.0)
+        assert guarded_run(flaky, retry=policy) == "ok"
+        assert len(calls) == 3
+
+    def test_exhaustion_raises_run_failed_with_cause(self):
+        def always():
+            raise RuntimeError("persistent")
+
+        policy = RetryPolicy(attempts=2, backoff_s=0.0)
+        with pytest.raises(RunFailedError) as exc:
+            guarded_run(always, retry=policy, label="cell-x")
+        assert exc.value.attempts == 2
+        assert "cell-x" in str(exc.value)
+        assert isinstance(exc.value.__cause__, RuntimeError)
+
+    def test_config_error_is_not_retried(self):
+        calls = []
+
+        def invalid():
+            calls.append(1)
+            raise ConfigError("quanta", -1, ">= 1")
+
+        with pytest.raises(ConfigError):
+            guarded_run(invalid, retry=RetryPolicy(attempts=5, backoff_s=0.0))
+        assert len(calls) == 1
+
+    def test_timeout_becomes_run_failed_from_timeout(self):
+        def slow():
+            time.sleep(5.0)
+
+        policy = RetryPolicy(attempts=1, timeout_s=0.05)
+        with pytest.raises(RunFailedError) as exc:
+            guarded_run(slow, retry=policy, label="slow-cell")
+        assert isinstance(exc.value.__cause__, RunTimeoutError)
+        assert isinstance(exc.value.__cause__, TimeoutError)
+
+    def test_retry_policy_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0.0)
+
+
+class TestRunJournal:
+    def test_roundtrip(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        key = RunJournal.cell_key(mix="mix01", threshold=2.0)
+        journal.record(key, {"ipc": 3.25})
+        fresh = RunJournal(journal.path)
+        assert fresh.load() == 1
+        assert fresh.has(key)
+        assert fresh.get(key) == {"ipc": 3.25}
+
+    def test_cell_key_is_order_independent(self):
+        assert RunJournal.cell_key(a=1, b=2) == RunJournal.cell_key(b=2, a=1)
+
+    def test_truncated_tail_is_tolerated(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        journal.record("k1", {"ipc": 1.0})
+        journal.record("k2", {"ipc": 2.0})
+        # Simulate a kill mid-append: the final line is half-written.
+        with open(journal.path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "k3", "payl')
+        fresh = RunJournal(journal.path)
+        assert fresh.load() == 2
+        assert fresh.get("k2") == {"ipc": 2.0}
+        assert not fresh.has("k3")
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            '{"key": "k1", "payload": {"ipc": 1.0}}\n'
+            "!!garbage!!\n"
+            '{"key": "k2", "payload": {"ipc": 2.0}}\n'
+        )
+        with pytest.raises(JournalError, match="line 2"):
+            RunJournal(path).load()
+
+    def test_clear_removes_file(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        journal.record("k", {"ipc": 1.0})
+        journal.clear()
+        assert len(journal) == 0
+        assert not journal.path.exists()
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert RunJournal(tmp_path / "absent.jsonl").load() == 0
+
+
+class TestSweepResume:
+    THRESHOLDS = (1.0, 99.0)
+    HEURISTICS = ("type1",)
+    MIXES = ["mix01", "mix02"]
+
+    def _grid(self, journal=None):
+        return threshold_type_grid(
+            tiny_run(mix="mix01"),
+            mixes=self.MIXES,
+            thresholds=self.THRESHOLDS,
+            heuristics=self.HEURISTICS,
+            journal=journal,
+        )
+
+    def test_resumed_sweep_matches_uninterrupted(self, tmp_path, monkeypatch):
+        baseline = self._grid()
+
+        # First pass with a journal, killed after the first grid row:
+        # keep only the first two journaled cells.
+        journal = RunJournal(tmp_path / "grid.jsonl")
+        self._grid(journal=journal)
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == len(self.THRESHOLDS) * len(self.MIXES)
+        journal.path.write_text("\n".join(lines[:2]) + "\n")
+
+        # Resume: only the non-journaled cells may be simulated.
+        import repro.harness.sweep as sweep_mod
+
+        real_run_adts = sweep_mod.run_adts
+        simulated = []
+
+        def counting_run_adts(*args, **kwargs):
+            simulated.append(1)
+            return real_run_adts(*args, **kwargs)
+
+        monkeypatch.setattr(sweep_mod, "run_adts", counting_run_adts)
+        resumed_journal = RunJournal(journal.path)
+        assert resumed_journal.load() == 2
+        resumed = self._grid(journal=resumed_journal)
+
+        assert len(simulated) == len(lines) - 2
+        assert resumed.ipc == baseline.ipc
+        assert resumed.switches == baseline.switches
+        assert resumed.benign == baseline.benign
+        assert resumed.per_mix_ipc == baseline.per_mix_ipc
+
+    def test_journal_key_guards_run_parameters(self):
+        from repro.harness.sweep import _grid_cell_key
+
+        a = _grid_cell_key(tiny_run(), 2.0, "type3", "mix01")
+        b = _grid_cell_key(tiny_run(quanta=3), 2.0, "type3", "mix01")
+        assert a != b
