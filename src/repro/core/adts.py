@@ -31,6 +31,7 @@ Every fallback is recorded in the decision log and ``summary()``.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -240,11 +241,13 @@ class ADTSController(SchedulerHook):
         # Charge the DT for the whole loop body, then act on completion.
         self.detector.enqueue(DetectorTask("ipc_check", CHECK_COST), now)
         if self.mark_clogging:
+            # functools.partial over bound methods (not lambdas) so a
+            # checkpoint taken while DT work is queued can pickle the queue.
             self.detector.enqueue(
                 DetectorTask(
                     "identify_clogging",
                     IDENTIFY_COST,
-                    on_complete=lambda at, snaps=snapshots: self._apply_clogging(snaps),
+                    on_complete=functools.partial(self._apply_clogging, snapshots),
                 ),
                 now,
             )
@@ -256,8 +259,9 @@ class ADTSController(SchedulerHook):
                 DetectorTask(
                     "policy_switch",
                     SWITCH_COST,
-                    on_complete=lambda at, d=decision, lg=log, ipc=record.ipc, qi=record.index:
-                        self._apply_switch(at, d, lg, ipc, qi),
+                    on_complete=functools.partial(
+                        self._apply_switch, decision, log, record.ipc, record.index
+                    ),
                 ),
                 now,
             )
@@ -322,7 +326,7 @@ class ADTSController(SchedulerHook):
         )
 
     # -- actions --------------------------------------------------------------
-    def _apply_switch(self, at_cycle: int, decision, log: DecisionLog, ipc_before: float, qindex: int) -> None:
+    def _apply_switch(self, decision, log: DecisionLog, ipc_before: float, qindex: int, at_cycle: int) -> None:
         if self.in_safe_mode:
             # A stale switch completing after the watchdog tripped must not
             # override the fallback policy.
@@ -334,7 +338,7 @@ class ADTSController(SchedulerHook):
         self._awaiting_outcome = True
         self._ipc_before_switch = ipc_before
 
-    def _apply_clogging(self, snapshots) -> None:
+    def _apply_clogging(self, snapshots, at_cycle: int) -> None:
         reports = identify_clogging_threads(snapshots)
         clogging = [r.tid for r in reports if r.clogging]
         for report in reports:

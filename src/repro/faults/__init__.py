@@ -4,6 +4,6 @@ degradation (the robustness evaluation layer the paper's §3–§4 discussion
 implies but never builds)."""
 
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FAULT_KINDS, FaultPlan
+from repro.faults.plan import FAULT_KINDS, IN_PROCESS_FAULT_KINDS, FaultPlan
 
-__all__ = ["FaultPlan", "FaultInjector", "FAULT_KINDS"]
+__all__ = ["FaultPlan", "FaultInjector", "FAULT_KINDS", "IN_PROCESS_FAULT_KINDS"]

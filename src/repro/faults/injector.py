@@ -21,6 +21,9 @@ plan is all-zeros is bit-identical to a run without one.
 from __future__ import annotations
 
 import dataclasses
+import os
+import signal
+import time
 from typing import Dict, Optional
 
 import numpy as np
@@ -139,6 +142,21 @@ class FaultInjector(SchedulerHook):
             tid = self.pool.integer(self.processor.num_threads)
             self.processor.contexts[tid].block_fetch_until(now + plan.thread_hang_cycles)
             self._count("thread_hang")
+
+        # (e) process-level faults — the hosting worker itself dies or hangs.
+        # These exist to exercise the supervised executor's crash containment
+        # and heartbeat-staleness kill; see FaultPlan for why 'all' excludes
+        # them.
+        if self._hit(plan.worker_crash_rate):
+            self._count("worker_crash")  # unobservable from this process
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self._hit(plan.worker_hang_rate):
+            self._count("worker_hang")
+            # CPU-bound spin, not sleep: this is the hang a thread-based
+            # timeout cannot interrupt and a heartbeat monitor must detect.
+            deadline = time.monotonic() + plan.worker_hang_seconds
+            while time.monotonic() < deadline:
+                pass
 
         self._prev_record, self._prev_snapshots = record, snapshots
         self.inner.on_quantum_end(now, faulty_record, faulty_snaps)

@@ -19,8 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 from typing import Sequence
 
-#: CLI-facing fault families (``--faults counters,dt``).
-FAULT_KINDS = ("counters", "dt", "policy", "hangs")
+#: CLI-facing fault families (``--faults counters,dt``). ``worker`` is the
+#: process-level family (hard crash / CPU-bound hang of the hosting
+#: process); it exists to exercise the supervised executor and is therefore
+#: *not* part of ``all`` — an unsupervised run has nothing to contain it.
+FAULT_KINDS = ("counters", "dt", "policy", "hangs", "worker")
+
+#: The families ``--faults all`` (and :meth:`FaultPlan.storm`) enable.
+IN_PROCESS_FAULT_KINDS = ("counters", "dt", "policy", "hangs")
 
 
 @dataclass(frozen=True)
@@ -48,6 +54,16 @@ class FaultPlan:
         thread_hang_rate: P(per boundary) one workload thread transiently
             hangs (cannot fetch) for ``thread_hang_cycles`` cycles.
         thread_hang_cycles: length of a transient thread hang.
+        worker_crash_rate: P(per boundary) the hosting *process* dies by
+            SIGKILL — the segfault/OOM-kill stand-in that exercises a
+            supervisor's crash containment. Only meaningful under
+            :class:`~repro.harness.executor.SupervisedExecutor`.
+        worker_hang_rate: P(per boundary) the hosting process busy-spins
+            (CPU-bound, heartbeats stop) for ``worker_hang_seconds`` —
+            the uninterruptible hang ``guarded_run`` cannot kill.
+        worker_hang_seconds: wall-clock length of an injected process hang
+            (finite, so an *unsupervised* run eventually recovers instead
+            of wedging forever).
     """
 
     seed: int = 0
@@ -62,13 +78,16 @@ class FaultPlan:
     policy_spurious_rate: float = 0.0
     thread_hang_rate: float = 0.0
     thread_hang_cycles: int = 1024
+    worker_crash_rate: float = 0.0
+    worker_hang_rate: float = 0.0
+    worker_hang_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         for f in fields(self):
             value = getattr(self, f.name)
             if f.name.endswith("_rate") and not 0.0 <= value <= 1.0:
                 raise ValueError(f"FaultPlan.{f.name}={value!r}: must be in [0, 1]")
-            if f.name.endswith(("_cycles", "_instructions")) and value < 0:
+            if f.name.endswith(("_cycles", "_instructions", "_seconds")) and value < 0:
                 raise ValueError(f"FaultPlan.{f.name}={value!r}: must be >= 0")
 
     @property
@@ -82,6 +101,17 @@ class FaultPlan:
         """The same plan on a different injection stream."""
         return replace(self, seed=seed)
 
+    def without_worker_faults(self) -> "FaultPlan":
+        """The same plan with the process-level (crash/hang) family off.
+
+        The supervised executor applies this on retries: worker faults exist
+        to exercise the supervisor once, not to make a cell permanently
+        unrunnable (a seeded crash would otherwise recur on every attempt).
+        """
+        if self.worker_crash_rate == 0.0 and self.worker_hang_rate == 0.0:
+            return self
+        return replace(self, worker_crash_rate=0.0, worker_hang_rate=0.0)
+
     # -- constructors --------------------------------------------------------
     @classmethod
     def from_kinds(
@@ -89,11 +119,13 @@ class FaultPlan:
     ) -> "FaultPlan":
         """Build a plan enabling whole fault families at a shared rate.
 
-        ``kinds`` is a subset of :data:`FAULT_KINDS` (or ``["all"]``).
+        ``kinds`` is a subset of :data:`FAULT_KINDS` (or ``["all"]``, which
+        enables the in-process families only — ``worker`` faults kill the
+        hosting process and must be requested by name).
         """
         chosen = set(kinds)
         if "all" in chosen:
-            chosen = set(FAULT_KINDS)
+            chosen = set(IN_PROCESS_FAULT_KINDS)
         unknown = chosen - set(FAULT_KINDS)
         if unknown:
             raise ValueError(
@@ -112,6 +144,9 @@ class FaultPlan:
             kw["policy_spurious_rate"] = rate
         if "hangs" in chosen:
             kw["thread_hang_rate"] = rate
+        if "worker" in chosen:
+            kw["worker_crash_rate"] = rate
+            kw["worker_hang_rate"] = rate
         return cls(seed=seed, **kw)
 
     @classmethod

@@ -1,14 +1,25 @@
 """Experiment harness: runners, sweeps, sampling and report formatting for
 regenerating every table and figure of the paper's evaluation (§5–§6),
-hardened with a structured error taxonomy, per-run timeout/retry, and a
-JSONL run journal for crash-resilient checkpoint/resume sweeps."""
+hardened with a structured error taxonomy, per-run timeout/retry, a JSONL
+run journal (single-writer locked) for crash-resilient checkpoint/resume
+sweeps, and a process-isolated supervised executor that contains crashes
+and enforces timeout/heartbeat limits with SIGKILL."""
 
 from repro.harness.errors import (
+    FAILURE_KINDS,
     ConfigError,
     HarnessError,
+    HeartbeatStallError,
     JournalError,
     RunFailedError,
     RunTimeoutError,
+    WorkerCrashError,
+)
+from repro.harness.executor import (
+    ExecutorConfig,
+    SupervisedExecutor,
+    WorkItem,
+    register_task_kind,
 )
 from repro.harness.journal import RunJournal
 from repro.harness.resilience import RetryPolicy, guarded_run
@@ -33,8 +44,15 @@ __all__ = [
     "ConfigError",
     "RunTimeoutError",
     "RunFailedError",
+    "HeartbeatStallError",
+    "WorkerCrashError",
     "JournalError",
+    "FAILURE_KINDS",
     "RunJournal",
+    "ExecutorConfig",
+    "SupervisedExecutor",
+    "WorkItem",
+    "register_task_kind",
     "RetryPolicy",
     "guarded_run",
     "RunConfig",

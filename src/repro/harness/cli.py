@@ -15,7 +15,10 @@ Commands map one-to-one onto the experiment index (DESIGN.md §4):
 
 ``run`` accepts ``--faults counters,dt,policy,hangs`` (or ``all``) to
 inject seeded faults; ``grid`` accepts ``--journal PATH`` / ``--resume``
-for crash-resilient checkpoint/resume sweeps.
+for crash-resilient checkpoint/resume sweeps and ``--workers N`` to run
+cells in supervised child processes (crash containment, SIGKILL-enforced
+timeouts and heartbeat-staleness limits, bounded restarts) — results are
+identical to the serial sweep for any worker count.
 """
 
 from __future__ import annotations
@@ -127,7 +130,25 @@ def cmd_grid(args) -> None:
     retry = None
     if args.retries > 1 or args.run_timeout is not None:
         retry = RetryPolicy(attempts=args.retries, timeout_s=args.run_timeout)
-    grid = run_grid(defaults, quick=not args.full, journal=journal, retry=retry)
+    executor = None
+    if args.workers > 0:
+        from repro.harness.executor import ExecutorConfig, SupervisedExecutor
+
+        executor = SupervisedExecutor(ExecutorConfig(
+            workers=args.workers,
+            run_timeout_s=args.run_timeout,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            max_restarts=max(0, args.retries - 1),
+            checkpoint_dir=args.checkpoint_dir,
+        ))
+    mixes = [m.strip() for m in args.mixes.split(",") if m.strip()] if args.mixes else None
+    grid = run_grid(defaults, quick=not args.full, journal=journal, retry=retry,
+                    executor=executor, mixes=mixes)
+    if executor is not None and executor.failures:
+        print(f"supervisor: {len(executor.failures)} failed attempt(s): " +
+              ", ".join(f"{f['label']}#{f['attempt']}:{f['kind']}"
+                        for f in executor.failures),
+              file=sys.stderr)
     from repro.harness.runner import run_mix_average
 
     baseline = run_mix_average(grid.mixes, defaults.base_run())["mean_ipc"]
@@ -281,6 +302,17 @@ def build_parser() -> argparse.ArgumentParser:
                            help="attempts per cell before giving up")
             p.add_argument("--run-timeout", type=float, default=None,
                            help="per-cell wall-clock budget in seconds")
+            p.add_argument("--workers", type=int, default=0, metavar="N",
+                           help="run cells in N supervised child processes "
+                                "(0 = serial, in-process)")
+            p.add_argument("--heartbeat-timeout", type=float, default=None,
+                           help="kill a worker whose last per-quantum "
+                                "heartbeat is older than this many seconds")
+            p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                           help="directory for per-cell mid-run snapshots; "
+                                "retries resume instead of recomputing")
+            p.add_argument("--mixes", default=None, metavar="M1,M2",
+                           help="comma list of mixes (overrides quick/full)")
         p.add_argument("--full", action="store_true",
                        help="all 13 mixes (slow) instead of the quick set")
         _add_common(p)

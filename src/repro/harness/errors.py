@@ -41,6 +41,38 @@ class RunTimeoutError(HarnessError, TimeoutError):
         super().__init__(f"{label}: run exceeded {timeout_s:g}s wall-clock budget")
 
 
+class HeartbeatStallError(HarnessError, TimeoutError):
+    """A supervised worker stopped heartbeating (hung, not merely slow)."""
+
+    def __init__(self, label: str, stale_s: float, limit_s: float) -> None:
+        self.label = label
+        self.stale_s = stale_s
+        self.limit_s = limit_s
+        super().__init__(
+            f"{label}: no heartbeat for {stale_s:.1f}s (limit {limit_s:g}s); "
+            "worker killed"
+        )
+
+
+class WorkerCrashError(HarnessError):
+    """A supervised worker process died without reporting a result.
+
+    ``signal`` is set when the worker was killed by a signal (segfault,
+    OOM-kill, external SIGKILL); ``exitcode`` when it exited on its own.
+    """
+
+    def __init__(self, label: str, exitcode: Optional[int]) -> None:
+        self.label = label
+        self.exitcode = exitcode
+        self.signal = -exitcode if exitcode is not None and exitcode < 0 else None
+        how = (
+            f"killed by signal {self.signal}"
+            if self.signal is not None
+            else f"exited with code {exitcode}"
+        )
+        super().__init__(f"{label}: worker {how} without a result")
+
+
 class RunFailedError(HarnessError):
     """A run kept failing after its bounded retries were exhausted.
 
@@ -55,4 +87,23 @@ class RunFailedError(HarnessError):
 
 
 class JournalError(HarnessError):
-    """The run journal contains undecodable entries (not a truncated tail)."""
+    """The run journal contains undecodable entries (not a truncated tail),
+    or is exclusively locked by another live sweep process."""
+
+
+#: Supervisor failure taxonomy: every way a supervised cell attempt can fail,
+#: as stable strings (recorded per attempt in ``SupervisedExecutor.failures``
+#: so post-mortems can count causes without parsing messages).
+FAILURE_CRASH = "crash"  # worker died (signal / nonzero exit), no result
+FAILURE_TIMEOUT = "timeout"  # hard wall-clock limit exceeded, SIGKILLed
+FAILURE_STALLED = "stalled-heartbeat"  # heartbeats went stale, SIGKILLed
+FAILURE_EXCEPTION = "exception"  # worker reported a Python exception
+FAILURE_INVARIANT = "invariant"  # worker reported an InvariantViolation
+
+FAILURE_KINDS = (
+    FAILURE_CRASH,
+    FAILURE_TIMEOUT,
+    FAILURE_STALLED,
+    FAILURE_EXCEPTION,
+    FAILURE_INVARIANT,
+)

@@ -1,0 +1,423 @@
+"""Process-isolated supervised executor for sweep cells.
+
+:func:`~repro.harness.resilience.guarded_run` can bound a run's wall-clock,
+but it cannot *stop* a hung attempt: CPython offers no way to kill a
+compute-bound thread, so a timed-out cell keeps burning a core. This module
+closes that hole by running every cell in a child **process** under a
+supervisor that enforces limits with SIGKILL:
+
+* a pool of up to ``workers`` concurrent cell processes;
+* per-run **heartbeats**: workers report every finished quantum over a
+  pipe, so the supervisor distinguishes *hung* (stale heartbeat → killed)
+  from merely *slow* (heartbeats flowing → left alone);
+* a hard per-attempt **wall-clock limit**, also enforced with SIGKILL;
+* **crash containment**: a segfault, OOM-kill or stray ``kill -9`` takes
+  down one cell's process, not the sweep;
+* bounded **restart with backoff** per cell; retries strip process-killing
+  worker faults (``FaultPlan.without_worker_faults``) so an injected crash
+  is survived rather than replayed forever, and resume from the cell's
+  latest mid-run checkpoint when a checkpoint directory is configured;
+* **deterministic aggregation**: results are keyed by cell identity and
+  reassembled in canonical sweep order, so the aggregate is bit-identical
+  to a serial sweep regardless of worker count, completion order, crashes
+  or restarts (every run is seed-deterministic);
+* :class:`~repro.harness.journal.RunJournal` integration: journaled cells
+  are served without spawning a worker, finished cells are durably appended
+  by the supervisor (the journal's single-writer lock lives in the parent —
+  workers never touch the journal file).
+
+The supervisor records every failed attempt in :attr:`SupervisedExecutor.
+failures` using the stable taxonomy strings of
+:mod:`repro.harness.errors` (``crash`` / ``timeout`` / ``stalled-heartbeat``
+/ ``exception`` / ``invariant``), so post-mortems can count causes without
+parsing messages.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.core.thresholds import ThresholdConfig
+from repro.harness.errors import (
+    FAILURE_CRASH,
+    FAILURE_EXCEPTION,
+    FAILURE_INVARIANT,
+    FAILURE_STALLED,
+    FAILURE_TIMEOUT,
+    HeartbeatStallError,
+    RunFailedError,
+    RunTimeoutError,
+    WorkerCrashError,
+)
+from repro.harness.journal import RunJournal
+from repro.smt.checkpoint import CheckpointPlan
+from repro.smt.invariants import InvariantViolation
+
+# ---------------------------------------------------------------------------
+# Task kinds: what a worker knows how to run.
+# ---------------------------------------------------------------------------
+# A task function receives (spec, progress, checkpoint_path) and returns a
+# JSON-friendly payload dict. It runs in the CHILD process; spec must be
+# picklable. `progress(q)` must be called at least once per quantum — it is
+# the heartbeat the supervisor watches.
+TaskFn = Callable[[dict, Callable[[int], None], Optional[Path]], dict]
+
+TASK_KINDS: Dict[str, TaskFn] = {}
+
+
+def register_task_kind(name: str, fn: TaskFn) -> None:
+    """Register a task kind (module import time, so spawn workers see it)."""
+    TASK_KINDS[name] = fn
+
+
+def _run_grid_cell(spec: dict, progress, checkpoint_path: Optional[Path]) -> dict:
+    """The grid-sweep cell task: one ADTS run at (threshold, heuristic, mix).
+
+    Payload matches the serial sweep's ``_run_cell`` exactly — that identity
+    is what makes parallel and serial grids interchangeable.
+    """
+    from repro.harness.runner import run_adts
+
+    cfg = replace(spec["config"], mix=spec["mix"])
+    plan = spec.get("fault_plan")
+    if plan is not None and spec.get("strip_worker_faults"):
+        plan = plan.without_worker_faults()
+    checkpoint = None
+    if checkpoint_path is not None:
+        checkpoint = CheckpointPlan(path=checkpoint_path)
+    r = run_adts(
+        cfg,
+        heuristic=spec["heuristic"],
+        thresholds=ThresholdConfig(ipc_threshold=spec["threshold"]),
+        fault_plan=plan,
+        progress=progress,
+        checkpoint=checkpoint,
+        invariants=spec.get("invariants"),
+    )
+    return {
+        "ipc": r.ipc,
+        "switches": r.scheduler.get("switches", 0),
+        "benign_probability": r.scheduler.get("benign_probability", 0.0),
+    }
+
+
+register_task_kind("grid_cell", _run_grid_cell)
+
+
+# ---------------------------------------------------------------------------
+# Work items and supervisor configuration.
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkItem:
+    """One supervised unit of work.
+
+    ``key`` doubles as the journal key and the result key; items without a
+    key are keyed by ``label``. ``spec`` is handed to the task function in
+    the child and must be picklable.
+    """
+
+    label: str
+    kind: str = "grid_cell"
+    spec: dict = field(default_factory=dict)
+    key: Optional[str] = None
+
+    @property
+    def result_key(self) -> str:
+        return self.key if self.key is not None else self.label
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Supervisor knobs.
+
+    Attributes:
+        workers: concurrent cell processes.
+        run_timeout_s: hard per-attempt wall-clock limit (None = unbounded).
+        heartbeat_timeout_s: kill a worker whose last heartbeat is older
+            than this (None = no staleness check). Distinguishes hung from
+            slow: a slow run heartbeats every quantum and is never killed
+            by this limit.
+        max_restarts: extra attempts per cell after the first fails.
+        restart_backoff_s / backoff_factor: exponential delay before retries.
+        poll_interval_s: supervisor wake-up period.
+        start_method: multiprocessing start method; None picks ``fork``
+            where available (cheap on Linux) else ``spawn``.
+        checkpoint_dir: directory for per-cell mid-run snapshots; retries
+            resume from the latest snapshot instead of recomputing finished
+            quanta. None disables sub-cell checkpointing.
+    """
+
+    workers: int = 2
+    run_timeout_s: Optional[float] = None
+    heartbeat_timeout_s: Optional[float] = None
+    max_restarts: int = 2
+    restart_backoff_s: float = 0.1
+    backoff_factor: float = 2.0
+    poll_interval_s: float = 0.02
+    start_method: Optional[str] = None
+    checkpoint_dir: Optional[Path] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.run_timeout_s is not None and self.run_timeout_s <= 0:
+            raise ValueError("run_timeout_s must be positive")
+        if self.heartbeat_timeout_s is not None and self.heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat_timeout_s must be positive")
+
+
+def _worker_main(conn, kind: str, spec: dict, checkpoint_path) -> None:
+    """Child-process entry point: run the task, stream heartbeats, report.
+
+    Wire protocol (child → parent over ``conn``):
+        ("heartbeat", quantum_index)   every finished quantum
+        ("result", payload)            task finished
+        ("error", failure_kind, repr)  task raised (taxonomy-classified)
+    A worker that dies without sending ``result``/``error`` is a *crash*
+    and is classified by the parent from its exit code.
+    """
+    try:
+        fn = TASK_KINDS[kind]
+
+        def progress(quantum_index: int) -> None:
+            conn.send(("heartbeat", quantum_index))
+
+        payload = fn(spec, progress, checkpoint_path)
+        conn.send(("result", payload))
+    except InvariantViolation as exc:
+        conn.send(("error", FAILURE_INVARIANT, repr(exc)))
+    except BaseException as exc:  # noqa: BLE001 — report, parent decides
+        conn.send(("error", FAILURE_EXCEPTION, repr(exc)))
+    finally:
+        conn.close()
+
+
+class _Attempt:
+    """One live worker process executing one item attempt."""
+
+    __slots__ = ("item", "attempt", "proc", "conn", "started", "last_beat", "outcome")
+
+    def __init__(self, item: WorkItem, attempt: int, proc, conn) -> None:
+        self.item = item
+        self.attempt = attempt
+        self.proc = proc
+        self.conn = conn
+        now = time.monotonic()
+        self.started = now
+        self.last_beat = now
+        self.outcome = None  # ("result", payload) | ("error", kind, repr)
+
+
+class SupervisedExecutor:
+    """Run :class:`WorkItem` batches in supervised child processes.
+
+    One executor may be reused across batches; :attr:`failures` accumulates
+    one dict per failed attempt (``label``, ``attempt``, ``kind``,
+    ``detail``) across all of them.
+    """
+
+    def __init__(self, config: Optional[ExecutorConfig] = None) -> None:
+        self.config = config or ExecutorConfig()
+        self.failures: List[dict] = []
+        self._last_error: Dict[str, BaseException] = {}  # result_key -> last failure
+        method = self.config.start_method
+        if method is None:
+            method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        self._ctx = multiprocessing.get_context(method)
+
+    # -- public API ---------------------------------------------------------
+    def run(
+        self, items: List[WorkItem], journal: Optional[RunJournal] = None
+    ) -> Dict[str, dict]:
+        """Execute every item; return ``{item.result_key: payload}``.
+
+        Items already present in ``journal`` are served from it without
+        spawning a worker; freshly completed items are recorded to it from
+        the supervisor (single journal writer). A cell that still fails
+        after ``max_restarts`` restarts kills the remaining workers and
+        raises :class:`~repro.harness.errors.RunFailedError` with the final
+        attempt's failure chained — same contract as the serial sweep's
+        ``guarded_run``.
+        """
+        results: Dict[str, dict] = {}
+        pending: List[WorkItem] = []
+        for item in items:
+            payload = journal.get(item.key) if journal is not None and item.key else None
+            if payload is not None:
+                results[item.result_key] = payload
+            else:
+                pending.append(item)
+        if not pending:
+            return results
+
+        attempts_done: Dict[str, int] = {}  # result_key -> attempts so far
+        backlog: List[tuple] = [(0.0, i, item) for i, item in enumerate(pending)]
+        live: List[_Attempt] = []
+        try:
+            while backlog or live:
+                now = time.monotonic()
+                while backlog and len(live) < self.config.workers and backlog[0][0] <= now:
+                    _, _, item = backlog.pop(0)
+                    live.append(self._spawn(item, attempts_done.get(item.result_key, 0) + 1))
+                self._poll(live)
+                still_live: List[_Attempt] = []
+                for att in live:
+                    done, payload = self._reap(att)
+                    if not done:
+                        still_live.append(att)
+                        continue
+                    key = att.item.result_key
+                    attempts_done[key] = att.attempt
+                    if payload is not None:
+                        results[key] = payload
+                        if journal is not None and att.item.key:
+                            journal.record(att.item.key, payload)
+                    else:
+                        retry_at = self._on_failure(att)
+                        # _on_failure raised if the budget is exhausted
+                        backlog.append((retry_at, len(backlog), att.item))
+                        backlog.sort(key=lambda t: (t[0], t[1]))
+                live = still_live
+                if live or backlog:
+                    time.sleep(self.config.poll_interval_s)
+        finally:
+            self._kill_all(live)
+        return results
+
+    # -- internals ----------------------------------------------------------
+    def _checkpoint_path(self, item: WorkItem) -> Optional[Path]:
+        if self.config.checkpoint_dir is None:
+            return None
+        digest = hashlib.sha256(item.result_key.encode("utf-8")).hexdigest()[:16]
+        return Path(self.config.checkpoint_dir) / f"cell-{digest}.snap"
+
+    def _spawn(self, item: WorkItem, attempt: int) -> _Attempt:
+        spec = item.spec
+        if attempt > 1 and spec.get("fault_plan") is not None:
+            # A crash/hang fault that killed attempt 1 would kill every
+            # retry too — retries run the fault plan minus its
+            # process-killing members (still deterministic: same seed).
+            spec = {**spec, "strip_worker_faults": True}
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, item.kind, spec, self._checkpoint_path(item)),
+            name=f"repro-cell-{item.label}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # parent keeps only the read end
+        return _Attempt(item, attempt, proc, parent_conn)
+
+    def _poll(self, live: List[_Attempt]) -> None:
+        """Drain every live pipe; record heartbeats and final outcomes."""
+        for att in live:
+            self._drain(att)
+
+    @staticmethod
+    def _drain(att: _Attempt) -> None:
+        try:
+            while att.conn.poll():
+                msg = att.conn.recv()
+                if msg[0] == "heartbeat":
+                    att.last_beat = time.monotonic()
+                else:  # ("result", ...) or ("error", ...)
+                    att.outcome = msg
+        except (EOFError, OSError):
+            pass  # worker side closed; exit code decides in _reap
+
+    def _reap(self, att: _Attempt):
+        """Check one attempt for completion.
+
+        Returns ``(done, payload)``: ``(False, None)`` while running,
+        ``(True, payload)`` on success, ``(True, None)`` on a failure that
+        was recorded to the taxonomy (caller decides on retry).
+        """
+        cfg = self.config
+        now = time.monotonic()
+        if att.outcome is not None and att.outcome[0] == "result":
+            att.proc.join()
+            att.conn.close()
+            return True, att.outcome[1]
+        if att.outcome is not None:  # ("error", kind, repr)
+            att.proc.join()
+            att.conn.close()
+            _, kind, detail = att.outcome
+            self._record(att, kind, detail)
+            return True, None
+        if not att.proc.is_alive():
+            # The worker may have sent its final message and exited between
+            # the poll and this liveness check — drain once more before
+            # declaring a crash.
+            self._drain(att)
+            if att.outcome is not None:
+                return self._reap(att)
+            # Died without a final message: crashed (segfault, OOM, kill).
+            att.proc.join()
+            att.conn.close()
+            err = WorkerCrashError(att.item.label, att.proc.exitcode)
+            self._record(att, FAILURE_CRASH, str(err), err)
+            return True, None
+        if cfg.run_timeout_s is not None and now - att.started > cfg.run_timeout_s:
+            self._kill(att)
+            err = RunTimeoutError(att.item.label, cfg.run_timeout_s)
+            self._record(att, FAILURE_TIMEOUT, str(err), err)
+            return True, None
+        if (
+            cfg.heartbeat_timeout_s is not None
+            and now - att.last_beat > cfg.heartbeat_timeout_s
+        ):
+            self._kill(att)
+            err = HeartbeatStallError(
+                att.item.label, now - att.last_beat, cfg.heartbeat_timeout_s
+            )
+            self._record(att, FAILURE_STALLED, str(err), err)
+            return True, None
+        return False, None
+
+    def _record(self, att: _Attempt, kind: str, detail: str, exc=None) -> None:
+        self.failures.append(
+            {
+                "label": att.item.label,
+                "attempt": att.attempt,
+                "kind": kind,
+                "detail": detail,
+            }
+        )
+        self._last_error[att.item.result_key] = (
+            exc if exc is not None else RuntimeError(detail)
+        )
+
+    def _on_failure(self, att: _Attempt) -> float:
+        """Decide retry-or-raise for a failed attempt.
+
+        Returns the monotonic time before which the retry must not start;
+        raises :class:`RunFailedError` when the restart budget is spent.
+        """
+        cfg = self.config
+        if att.attempt > cfg.max_restarts:
+            last = self._last_error.get(att.item.result_key)
+            raise RunFailedError(att.item.label, att.attempt, last) from last
+        delay = cfg.restart_backoff_s * (cfg.backoff_factor ** (att.attempt - 1))
+        return time.monotonic() + delay
+
+    def _kill(self, att: _Attempt) -> None:
+        """SIGKILL one worker and reap it (no cooperation required)."""
+        if att.proc.is_alive():
+            att.proc.kill()
+        att.proc.join()
+        try:
+            att.conn.close()
+        except OSError:
+            pass
+
+    def _kill_all(self, live: List[_Attempt]) -> None:
+        for att in live:
+            self._kill(att)

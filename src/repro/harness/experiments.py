@@ -132,16 +132,20 @@ def run_grid(
     quick: bool = True,
     journal=None,
     retry: Optional[RetryPolicy] = None,
+    executor=None,
+    mixes: Optional[Sequence[str]] = None,
 ) -> SweepResult:
-    """The shared F7/F8 grid (optionally journaled/guarded — see
-    :func:`~repro.harness.sweep.threshold_type_grid`)."""
+    """The shared F7/F8 grid (optionally journaled/guarded/parallel — see
+    :func:`~repro.harness.sweep.threshold_type_grid`). ``mixes`` overrides
+    the quick/full mix set (smaller smoke grids)."""
     return threshold_type_grid(
         defaults.base_run(),
-        defaults.mixes(quick),
+        list(mixes) if mixes is not None else defaults.mixes(quick),
         thresholds=defaults.thresholds,
         heuristics=defaults.heuristics,
         journal=journal,
         retry=retry,
+        executor=executor,
     )
 
 

@@ -13,6 +13,15 @@ silently discarded (its cell simply re-runs). An undecodable line *before*
 the tail means real corruption and raises
 :class:`~repro.harness.errors.JournalError` rather than quietly dropping
 completed work.
+
+**Single-writer locking.** Two sweeps (or two supervisors) appending to the
+same journal would interleave partial lines and corrupt both runs. The
+first ``record()`` therefore takes an advisory ``fcntl.flock`` on a sidecar
+``<journal>.lock`` file (stamped with the holder's PID) and holds it for
+the journal object's lifetime; a second writer fails fast with a
+:class:`JournalError` naming the live holder instead of corrupting the
+file. The lock dies with the process (flock semantics), so a SIGKILLed
+sweep never leaves a stale lock behind.
 """
 
 from __future__ import annotations
@@ -24,6 +33,18 @@ from typing import Dict, Optional, Union
 
 from repro.harness.errors import JournalError
 
+try:
+    import fcntl
+except ImportError:  # non-POSIX: locking degrades to no-op
+    fcntl = None
+
+#: Process-wide lock table: resolved lock path -> [file handle, refcount].
+#: flock is per open-file-description, so a second open of the same lock
+#: file *within one process* would spuriously conflict with itself; journal
+#: objects in one process instead share the handle (one process = one
+#: writer, which is the property the lock exists to enforce).
+_PROCESS_LOCKS: Dict[str, list] = {}
+
 
 class RunJournal:
     """Append-only JSONL journal of completed run cells."""
@@ -31,6 +52,7 @@ class RunJournal:
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self._entries: Dict[str, dict] = {}
+        self._lock_key: Optional[str] = None
 
     @staticmethod
     def cell_key(**fields: object) -> str:
@@ -64,7 +86,8 @@ class RunJournal:
         return len(self._entries)
 
     def record(self, key: str, payload: dict) -> None:
-        """Durably append one completed cell."""
+        """Durably append one completed cell (acquiring the writer lock)."""
+        self.acquire_lock()
         self._entries[key] = payload
         self.path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps({"key": key, "payload": payload}, default=str)
@@ -75,9 +98,87 @@ class RunJournal:
 
     def clear(self) -> None:
         """Forget all entries and remove the on-disk file (fresh sweep)."""
+        self.acquire_lock()
         self._entries.clear()
         if self.path.exists():
             self.path.unlink()
+
+    # -- single-writer locking ----------------------------------------------
+    @property
+    def lock_path(self) -> Path:
+        """The sidecar lock file guarding this journal."""
+        return self.path.with_name(self.path.name + ".lock")
+
+    def acquire_lock(self) -> None:
+        """Take (or share) the exclusive writer lock on this journal.
+
+        Raises :class:`JournalError` naming the holder's PID when another
+        live *process* already writes here. Idempotent for the holder and
+        shared between journal objects of one process; no-op on platforms
+        without ``fcntl``. A killed holder releases automatically (flock
+        dies with the process).
+        """
+        if fcntl is None or self._lock_key is not None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        key = os.path.abspath(self.lock_path)
+        entry = _PROCESS_LOCKS.get(key)
+        if entry is not None:
+            entry[1] += 1
+            self._lock_key = key
+            return
+        fh = open(self.lock_path, "a+", encoding="utf-8")
+        try:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            fh.seek(0)
+            holder = fh.read().strip() or "unknown"
+            fh.close()
+            raise JournalError(
+                f"{self.path}: journal is locked by another sweep "
+                f"(holder pid {holder}); two writers would interleave "
+                "partial lines — use a separate journal or wait for it"
+            ) from None
+        fh.seek(0)
+        fh.truncate()
+        fh.write(str(os.getpid()))
+        fh.flush()
+        _PROCESS_LOCKS[key] = [fh, 1]
+        self._lock_key = key
+
+    def release_lock(self) -> None:
+        """Drop this object's hold on the writer lock; the last holder in
+        the process releases it for real. The journal stays readable."""
+        key, self._lock_key = self._lock_key, None
+        if key is None:
+            return
+        entry = _PROCESS_LOCKS.get(key)
+        if entry is None:
+            return
+        entry[1] -= 1
+        if entry[1] <= 0:
+            fh = entry[0]
+            try:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+            finally:
+                fh.close()
+                del _PROCESS_LOCKS[key]
+
+    def close(self) -> None:
+        """Release the writer lock; alias for context-manager exit."""
+        self.release_lock()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release_lock()
+
+    def __del__(self) -> None:
+        try:
+            self.release_lock()
+        except Exception:
+            pass
 
     # -- lookup -------------------------------------------------------------
     def has(self, key: str) -> bool:

@@ -7,19 +7,25 @@ retry loop with exponential backoff, converting persistent failure into a
 single typed :class:`~repro.harness.errors.RunFailedError` the sweep driver
 can record and re-raise.
 
-The timeout runs the call on a worker thread and abandons it on expiry
-(CPython offers no safe way to kill a compute-bound thread); the abandoned
-worker finishes in the background and its result is discarded. That is the
-standard trade-off for in-process timeouts and is acceptable here because a
-timed-out cell is rare and the process exits after the sweep.
+**Known limitation — the timeout cannot interrupt CPU-bound work.** The
+timeout runs the call on a worker thread and *abandons* it on expiry:
+CPython offers no safe way to kill a compute-bound thread, so the abandoned
+attempt keeps burning a core (and, with retries, attempts can pile up)
+until it finishes on its own; only its result is discarded. When that
+happens a ``RuntimeWarning`` is emitted naming the still-running attempt.
+Callers who need a *hard* guarantee — a hung simulation actually stops
+consuming CPU — should run cells under
+:class:`~repro.harness.executor.SupervisedExecutor`, which isolates each
+cell in a child process and enforces its limits with SIGKILL.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
+import threading
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Optional, TypeVar
+from typing import Callable, List, Optional, TypeVar
 
 from repro.harness.errors import ConfigError, RunFailedError, RunTimeoutError
 
@@ -54,15 +60,36 @@ class RetryPolicy:
 
 
 def _call_with_timeout(fn: Callable[[], T], timeout_s: float, label: str) -> T:
-    pool = concurrent.futures.ThreadPoolExecutor(max_workers=1)
-    try:
-        future = pool.submit(fn)
+    outcome: List = []  # [("ok", result)] or [("err", exception)]
+
+    def _target() -> None:
         try:
-            return future.result(timeout=timeout_s)
-        except concurrent.futures.TimeoutError:
-            raise RunTimeoutError(label, timeout_s) from None
-    finally:
-        pool.shutdown(wait=False)
+            outcome.append(("ok", fn()))
+        except BaseException as exc:  # noqa: BLE001 — re-raised on the caller
+            outcome.append(("err", exc))
+
+    worker = threading.Thread(target=_target, name=f"guarded-{label}", daemon=True)
+    worker.start()
+    worker.join(timeout_s)
+    if worker.is_alive():
+        # The attempt is *abandoned*, not stopped: a compute-bound thread
+        # cannot be killed from Python, so it keeps consuming CPU until it
+        # finishes on its own. Surface that loudly — silent zombie attempts
+        # are how "timed-out" sweeps still peg every core.
+        warnings.warn(
+            f"{label}: timeout ({timeout_s:g}s) fired but the attempt is "
+            "still running — in-process timeouts cannot interrupt CPU-bound "
+            "work, so the abandoned thread keeps consuming CPU. For hard "
+            "(SIGKILL) cancellation run cells under "
+            "repro.harness.executor.SupervisedExecutor.",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        raise RunTimeoutError(label, timeout_s)
+    status, value = outcome[0]
+    if status == "err":
+        raise value
+    return value
 
 
 def guarded_run(

@@ -1,9 +1,27 @@
-"""Single-run drivers: one (mix, scheduler) combination → one result."""
+"""Single-run drivers: one (mix, scheduler) combination → one result.
+
+Beyond the plain drivers, runs can opt into three robustness features:
+
+* ``progress`` — a callback fired at every quantum boundary with the index
+  of the quantum that just finished; the supervised executor uses it as the
+  worker heartbeat (a run that stops calling it is hung, not slow);
+* ``checkpoint`` — a :class:`~repro.smt.checkpoint.CheckpointPlan`: the run
+  snapshots its complete simulator state every N quanta, and a later call
+  with the same plan *resumes* from the snapshot, bit-identical to an
+  uninterrupted run (crash recovery at sub-cell granularity);
+* ``invariants`` — installs an :class:`~repro.smt.invariants.InvariantChecker`
+  outside the hook chain (``"raise"``, ``"watchdog"`` or ``"record"`` mode).
+
+All three are exact-result-preserving: a run with any combination of them
+enabled produces the same :class:`RunResult` as a bare run, because quanta
+are stepped on exactly the same cycle boundaries either way.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Union
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro import build_processor
 from repro.core.adts import ADTSController, WatchdogConfig
@@ -11,7 +29,16 @@ from repro.core.thresholds import ThresholdConfig
 from repro.faults import FaultInjector, FaultPlan
 from repro.harness.errors import ConfigError
 from repro.policies.registry import POLICY_NAMES
+from repro.smt.checkpoint import (
+    CheckpointPlan,
+    discard_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.smt.config import SMTConfig
+from repro.smt.invariants import InvariantChecker
+
+ProgressFn = Callable[[int], None]
 
 
 @dataclass(frozen=True)
@@ -68,14 +95,61 @@ class RunResult:
         return sum(self.quantum_ipcs) / len(self.quantum_ipcs) if self.quantum_ipcs else 0.0
 
 
-def _measure(proc, cfg: RunConfig, scheduler_summary: Dict) -> RunResult:
-    proc.run_quanta(cfg.warmup_quanta)
-    committed_base = proc.stats.committed
-    cycles_base = proc.now
-    proc.run_quanta(cfg.quanta)
-    committed = proc.stats.committed - committed_base
-    cycles = proc.now - cycles_base
-    window = proc.stats.quantum_history[cfg.warmup_quanta :]
+def _run_key(cfg: RunConfig, mode: str, scheduler: str, ipc_threshold: Optional[float]) -> str:
+    """Canonical identity of one run — the guard against resuming a cell
+    from some other run's checkpoint."""
+    from repro.harness.journal import RunJournal
+
+    return RunJournal.cell_key(
+        kind="run",
+        mode=mode,
+        scheduler=scheduler,
+        ipc_threshold=ipc_threshold,
+        mix=cfg.mix,
+        seed=cfg.seed,
+        num_threads=cfg.num_threads,
+        quantum_cycles=cfg.quantum_cycles,
+        quanta=cfg.quanta,
+        warmup_quanta=cfg.warmup_quanta,
+    )
+
+
+def _measure(
+    proc,
+    cfg: RunConfig,
+    scheduler_summary: Dict,
+    progress: Optional[ProgressFn] = None,
+    checkpoint: Optional[CheckpointPlan] = None,
+    controller=None,
+    injector=None,
+    run_key: Optional[str] = None,
+) -> RunResult:
+    """Advance ``proc`` to ``cfg.total_quanta()`` quanta and window the stats.
+
+    The result is derived purely from the per-quantum history, so it is
+    identical whether the run went straight through, was stepped quantum by
+    quantum for heartbeats/checkpoints, or was restored mid-way from a
+    snapshot (``proc`` may arrive here with quanta already on the clock).
+    """
+    total = cfg.total_quanta()
+    if progress is None and checkpoint is None:
+        proc.run_quanta(total - proc.quantum_index)
+    else:
+        while proc.quantum_index < total:
+            proc.run_quanta(1)
+            done = proc.quantum_index
+            if progress is not None:
+                progress(done)
+            if checkpoint is not None and done < total and checkpoint.due(done):
+                save_checkpoint(
+                    checkpoint.path, proc, controller, injector,
+                    meta={"run_key": run_key, "fingerprint": proc.fingerprint()},
+                )
+        if checkpoint is not None and not checkpoint.keep_on_success:
+            discard_checkpoint(checkpoint.path)
+    window = proc.stats.quantum_history[cfg.warmup_quanta : total]
+    committed = sum(q.committed for q in window)
+    cycles = sum(q.cycles for q in window)
     return RunResult(
         config=cfg,
         ipc=committed / cycles if cycles else 0.0,
@@ -97,21 +171,65 @@ def _maybe_inject(hook, fault_plan: Optional[FaultPlan]):
     return injector, injector
 
 
-def run_fixed(cfg: RunConfig, fault_plan: Optional[FaultPlan] = None) -> RunResult:
+def _maybe_check(hook, invariants: Optional[str]):
+    """Wrap ``hook`` in an InvariantChecker when a mode is requested.
+
+    The checker goes *outside* any injector so it always judges the true
+    machine state, never injected telemetry (that is the watchdog's job).
+    Returns ``(hook_to_install, checker_or_None)``.
+    """
+    if invariants is None:
+        return hook, None
+    checker = InvariantChecker(hook, mode=invariants)
+    return checker, checker
+
+
+def _try_resume(checkpoint: Optional[CheckpointPlan], run_key: str):
+    """Load the plan's snapshot if one exists; None means start fresh."""
+    if checkpoint is None or not Path(checkpoint.path).exists():
+        return None
+    return load_checkpoint(checkpoint.path, expect_meta={"run_key": run_key})
+
+
+def run_fixed(
+    cfg: RunConfig,
+    fault_plan: Optional[FaultPlan] = None,
+    progress: Optional[ProgressFn] = None,
+    checkpoint: Optional[CheckpointPlan] = None,
+    invariants: Optional[str] = None,
+) -> RunResult:
     """Run under the fixed fetch policy named in ``cfg.policy``."""
-    hook, injector = _maybe_inject(None, fault_plan)
-    proc = build_processor(
-        mix=cfg.mix,
-        num_threads=cfg.num_threads,
-        seed=cfg.seed,
-        config=cfg.machine,
-        policy=cfg.policy,
-        hook=hook,
-        quantum_cycles=cfg.quantum_cycles,
+    run_key = _run_key(cfg, "fixed", cfg.policy, None)
+    snap = _try_resume(checkpoint, run_key)
+    if snap is not None:
+        proc, injector = snap.processor, snap.injector
+        if injector is not None and fault_plan is not None:
+            # An explicit plan overrides the snapshotted one. Zero-rate
+            # families draw nothing from the RNG, so a supervised retry can
+            # strip process-killing faults without desyncing the stream.
+            injector.plan = fault_plan
+    else:
+        hook, injector = _maybe_inject(None, fault_plan)
+        hook, _ = _maybe_check(hook, invariants)
+        proc = build_processor(
+            mix=cfg.mix,
+            num_threads=cfg.num_threads,
+            seed=cfg.seed,
+            config=cfg.machine,
+            policy=cfg.policy,
+            hook=hook,
+            quantum_cycles=cfg.quantum_cycles,
+        )
+    checker = proc.hook if isinstance(proc.hook, InvariantChecker) else None
+    result = _measure(
+        proc, cfg, {"mode": "fixed", "policy": cfg.policy},
+        progress=progress, checkpoint=checkpoint,
+        injector=injector, run_key=run_key,
     )
-    result = _measure(proc, cfg, {"mode": "fixed", "policy": cfg.policy})
     if injector is not None:
         result.scheduler.update(injector.summary())
+    if checker is not None:
+        result.scheduler.update(checker.summary())
     return result
 
 
@@ -122,31 +240,54 @@ def run_adts(
     instant_dt: bool = False,
     fault_plan: Optional[FaultPlan] = None,
     watchdog: Optional[WatchdogConfig] = None,
+    progress: Optional[ProgressFn] = None,
+    checkpoint: Optional[CheckpointPlan] = None,
+    invariants: Optional[str] = None,
 ) -> RunResult:
     """Run under ADTS with the given heuristic and thresholds.
 
     ``fault_plan`` (optional) interposes a seeded
     :class:`~repro.faults.FaultInjector` between the pipeline and the
     controller; ``watchdog`` overrides the controller's fallback knobs.
+    With a ``checkpoint`` plan whose snapshot file exists, the run resumes
+    from it (the snapshot must carry the same run identity, else
+    :class:`~repro.smt.checkpoint.CheckpointError`) and the heuristic /
+    threshold / fault arguments are taken from the restored state.
     """
-    controller = ADTSController(
-        heuristic=heuristic, thresholds=thresholds, instant_dt=instant_dt,
-        watchdog=watchdog,
+    th = thresholds or ThresholdConfig()
+    run_key = _run_key(cfg, "adts", heuristic, th.ipc_threshold)
+    snap = _try_resume(checkpoint, run_key)
+    if snap is not None:
+        proc, controller, injector = snap.processor, snap.controller, snap.injector
+        if injector is not None and fault_plan is not None:
+            injector.plan = fault_plan  # see run_fixed: retry fault stripping
+    else:
+        controller = ADTSController(
+            heuristic=heuristic, thresholds=th, instant_dt=instant_dt,
+            watchdog=watchdog,
+        )
+        hook, injector = _maybe_inject(controller, fault_plan)
+        hook, _ = _maybe_check(hook, invariants)
+        proc = build_processor(
+            mix=cfg.mix,
+            num_threads=cfg.num_threads,
+            seed=cfg.seed,
+            config=cfg.machine,
+            policy="icount",  # ADTS's initial/default policy (§4.3.3)
+            hook=hook,
+            quantum_cycles=cfg.quantum_cycles,
+        )
+    checker = proc.hook if isinstance(proc.hook, InvariantChecker) else None
+    result = _measure(
+        proc, cfg, {"mode": "adts", "heuristic": heuristic},
+        progress=progress, checkpoint=checkpoint,
+        controller=controller, injector=injector, run_key=run_key,
     )
-    hook, injector = _maybe_inject(controller, fault_plan)
-    proc = build_processor(
-        mix=cfg.mix,
-        num_threads=cfg.num_threads,
-        seed=cfg.seed,
-        config=cfg.machine,
-        policy="icount",  # ADTS's initial/default policy (§4.3.3)
-        hook=hook,
-        quantum_cycles=cfg.quantum_cycles,
-    )
-    result = _measure(proc, cfg, {"mode": "adts", "heuristic": heuristic})
     result.scheduler.update(controller.summary())
     if injector is not None:
         result.scheduler.update(injector.summary())
+    if checker is not None:
+        result.scheduler.update(checker.summary())
     return result
 
 

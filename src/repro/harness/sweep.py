@@ -60,8 +60,14 @@ class SweepResult:
 
     def best_cell(self) -> Cell:
         """The (threshold, type) with the highest mean IPC — the paper's
-        'threshold 2, Type 3' claim."""
-        return max(self.ipc, key=self.ipc.get)
+        'threshold 2, Type 3' claim.
+
+        Ties are broken deterministically — lowest threshold first, then
+        lexicographic heuristic name — so the reported best cell never
+        depends on dict insertion order (which would differ between a fresh
+        sweep and one reassembled from a journal or a parallel executor).
+        """
+        return min(self.ipc, key=lambda cell: (-self.ipc[cell], cell[0], cell[1]))
 
 
 def _grid_cell_key(base: RunConfig, m: float, h: str, mix: str) -> str:
@@ -104,6 +110,7 @@ def threshold_type_grid(
     heuristics: Sequence[str] = ("type1", "type2", "type3", "type3g", "type4"),
     journal: Optional[RunJournal] = None,
     retry: Optional[RetryPolicy] = None,
+    executor: Optional["SupervisedExecutor"] = None,
 ) -> SweepResult:
     """Run the full grid. Cost = len(thresholds) x len(heuristics) x
     len(mixes) simulations of ``base.total_quanta()`` quanta each.
@@ -112,10 +119,34 @@ def threshold_type_grid(
     already-journaled cell is served from the journal instead of re-running
     — a killed sweep resumes from the last completed cell (load the journal
     before calling). ``retry`` adds per-cell timeout/bounded-retry.
+
+    With an ``executor``
+    (:class:`~repro.harness.executor.SupervisedExecutor`), cells run in
+    supervised child processes — concurrently, crash-contained, and with
+    hard SIGKILL-enforced limits — and ``retry`` is ignored (the executor
+    has its own restart budget). The aggregate is identical to the serial
+    path for any worker count: every cell is seed-deterministic and the
+    results are reassembled here in canonical grid order.
     """
     result = SweepResult(
         thresholds=list(thresholds), heuristics=list(heuristics), mixes=list(mixes)
     )
+    payloads: Dict[str, Dict] = {}
+    if executor is not None:
+        from repro.harness.executor import WorkItem
+
+        items = [
+            WorkItem(
+                label=f"grid[thr={m:g},{h},{mix}]",
+                kind="grid_cell",
+                spec={"config": base, "threshold": m, "heuristic": h, "mix": mix},
+                key=_grid_cell_key(base, m, h, mix),
+            )
+            for m in thresholds
+            for h in heuristics
+            for mix in mixes
+        ]
+        payloads = executor.run(items, journal=journal)
     for m in thresholds:
         for h in heuristics:
             ipcs: List[float] = []
@@ -123,7 +154,9 @@ def threshold_type_grid(
             benign_weighted = 0.0
             for mix in mixes:
                 key = _grid_cell_key(base, m, h, mix)
-                payload = journal.get(key) if journal is not None else None
+                payload = payloads.get(key)
+                if payload is None and journal is not None:
+                    payload = journal.get(key)
                 if payload is None:
                     payload = _run_cell(base, m, h, mix, retry)
                     if journal is not None:

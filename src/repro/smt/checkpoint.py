@@ -1,0 +1,199 @@
+"""Mid-run simulator checkpointing: atomic, validated state snapshots.
+
+A snapshot serializes the *complete* simulator state — pipeline queues and
+contexts, RNG substreams, per-thread counters, the ADTS controller's FSM,
+watchdog and decision history, any queued detector-thread work (the
+callbacks are :func:`functools.partial` over bound methods, chosen for
+exactly this reason), and a fault injector's plan cursor — so that
+
+    run to quantum k, checkpoint, restore, run to the end
+
+is bit-identical to an uninterrupted run. That turns crash recovery from
+whole-cell granularity (the :class:`~repro.harness.journal.RunJournal`) into
+sub-cell granularity: a supervisor can SIGKILL a hung worker and the retry
+resumes from the last quantum boundary instead of cycle zero.
+
+Snapshots are only taken *between* quanta (``SMTProcessor.at_quantum_boundary``)
+— the one instant with no half-executed cycle and freshly-cleared quantum
+counters — and are written torn-proof twice over: the payload is framed with
+a magic/version/length/CRC32 header (a partial write never validates), and
+the frame lands via write-to-temp + fsync + ``os.replace`` (readers never
+observe a partial file under any kill timing).
+
+Serialization is :mod:`pickle` of the live object graph. That is deliberate:
+the simulator is pure in-process Python state with seeded NumPy/stdlib RNGs
+(both of which pickle their exact stream position), and a structural
+re-encoding of every queue would have to be maintained in lockstep with the
+pipeline forever. The cost is that snapshots are only readable by the same
+code version — which is what the versioned header enforces.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+#: File magic for snapshot frames.
+MAGIC = b"REPRO-SNAP"
+#: Bump on any change to the frame layout or the pickled bundle's schema.
+CHECKPOINT_VERSION = 1
+
+_HEADER = struct.Struct("<10sIII")  # magic, version, payload length, crc32
+
+
+class CheckpointError(Exception):
+    """A snapshot could not be written, read, or trusted (torn/mismatched)."""
+
+
+@dataclass
+class Snapshot:
+    """One restored checkpoint: the simulator plus its scheduler stack."""
+
+    processor: object
+    controller: Optional[object]
+    injector: Optional[object]
+    quantum_index: int
+    cycle: int
+    meta: dict
+
+
+@dataclass(frozen=True)
+class CheckpointPlan:
+    """Where and how often a run should snapshot itself.
+
+    Attributes:
+        path: snapshot file (a single file, atomically replaced each time).
+        every_quanta: snapshot period in quanta.
+        keep_on_success: keep the final snapshot after a clean finish
+            (default: delete it — a finished run needs no resume point).
+    """
+
+    path: Union[str, Path]
+    every_quanta: int = 1
+    keep_on_success: bool = False
+
+    def __post_init__(self) -> None:
+        if self.every_quanta < 1:
+            raise ValueError("every_quanta must be >= 1")
+
+    def due(self, quantum_index: int) -> bool:
+        """Should a snapshot be taken after ``quantum_index`` quanta ran?"""
+        return quantum_index % self.every_quanta == 0
+
+
+def save_checkpoint(
+    path: Union[str, Path],
+    processor,
+    controller=None,
+    injector=None,
+    meta: Optional[dict] = None,
+) -> None:
+    """Atomically write a snapshot of ``processor`` (and its hook stack).
+
+    Raises :class:`CheckpointError` if the processor is mid-quantum: a
+    snapshot between phase walks of a cycle would capture a state no real
+    run ever restarts from.
+    """
+    if not processor.at_quantum_boundary:
+        raise CheckpointError(
+            f"checkpoint requested mid-quantum (cycle {processor.now}); "
+            "snapshots are only taken at quantum boundaries"
+        )
+    bundle = {
+        "processor": processor,
+        "controller": controller,
+        "injector": injector,
+        "quantum_index": processor.quantum_index,
+        "cycle": processor.now,
+        "meta": dict(meta or {}),
+    }
+    try:
+        payload = pickle.dumps(bundle, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise CheckpointError(f"simulator state is not serializable: {exc}") from exc
+    header = _HEADER.pack(MAGIC, CHECKPOINT_VERSION, len(payload), zlib.crc32(payload))
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(header)
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    # Persist the rename itself (a crash right after os.replace must not
+    # resurrect the previous snapshot on journaling filesystems).
+    try:
+        dirfd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dirfd)
+        finally:
+            os.close(dirfd)
+    except OSError:
+        pass  # directory fsync is best-effort (not supported everywhere)
+
+
+def load_checkpoint(path: Union[str, Path], expect_meta: Optional[dict] = None) -> Snapshot:
+    """Read and validate a snapshot; raises :class:`CheckpointError` on a
+    missing, torn, corrupt, or version-mismatched file.
+
+    ``expect_meta`` keys, when given, must match the stored metadata — the
+    guard against resuming a cell from some *other* run's snapshot.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no snapshot at {path}")
+    blob = path.read_bytes()
+    if len(blob) < _HEADER.size:
+        raise CheckpointError(f"{path}: truncated snapshot header")
+    magic, version, length, crc = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise CheckpointError(f"{path}: not a repro snapshot (bad magic)")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: snapshot version {version} != supported {CHECKPOINT_VERSION}"
+        )
+    payload = blob[_HEADER.size :]
+    if len(payload) != length:
+        raise CheckpointError(
+            f"{path}: torn snapshot ({len(payload)} of {length} payload bytes)"
+        )
+    if zlib.crc32(payload) != crc:
+        raise CheckpointError(f"{path}: snapshot payload fails its CRC")
+    try:
+        bundle = pickle.loads(payload)
+    except Exception as exc:
+        raise CheckpointError(f"{path}: undecodable snapshot payload: {exc}") from exc
+    meta = bundle.get("meta", {})
+    if expect_meta:
+        for key, want in expect_meta.items():
+            got = meta.get(key)
+            if got != want:
+                raise CheckpointError(
+                    f"{path}: snapshot is for a different run "
+                    f"({key}={got!r}, expected {want!r})"
+                )
+    return Snapshot(
+        processor=bundle["processor"],
+        controller=bundle.get("controller"),
+        injector=bundle.get("injector"),
+        quantum_index=bundle["quantum_index"],
+        cycle=bundle["cycle"],
+        meta=meta,
+    )
+
+
+def discard_checkpoint(path: Union[str, Path]) -> None:
+    """Remove a snapshot file if present (clean-finish housekeeping)."""
+    path = Path(path)
+    if path.exists():
+        path.unlink()

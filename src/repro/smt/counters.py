@@ -92,6 +92,10 @@ class ThreadCounters:
         self.q_squashed = 0
         self.q_stall_cycles = 0
 
+    def as_dict(self) -> Dict[str, float]:
+        """Every counter field by name (state digests, invariant reports)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
     # -- derived live signals ------------------------------------------------
     @property
     def icount(self) -> int:

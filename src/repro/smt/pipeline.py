@@ -162,6 +162,60 @@ class SMTProcessor:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    @property
+    def quantum_index(self) -> int:
+        """Index of the quantum currently executing (0-based)."""
+        return self._quantum_index
+
+    @property
+    def at_quantum_boundary(self) -> bool:
+        """True exactly between quanta — the only safe checkpoint instant
+        (no cycle is half-executed and the counters were just snapshotted)."""
+        return self.now == self._quantum_start_cycle
+
+    def fingerprint(self) -> str:
+        """Digest of the architecturally-relevant machine state.
+
+        Two processors with equal fingerprints are at the same point of the
+        same deterministic run; checkpoint/restore equivalence tests and
+        snapshot metadata use this to detect divergence cheaply without
+        comparing whole object graphs.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(
+            repr(
+                (
+                    self.now,
+                    self._quantum_index,
+                    self.policy_name,
+                    self.stats.committed,
+                    self.stats.fetched,
+                    self.stats.squashed,
+                    self.stats.idle_fetch_slots,
+                    sorted(self.stats.per_thread_committed.items()),
+                    self._wp_rng.getstate(),
+                )
+            ).encode()
+        )
+        for ctx in self.contexts:
+            h.update(
+                repr(
+                    (
+                        ctx.tid,
+                        ctx.fetch_ready_cycle,
+                        ctx.wrong_path,
+                        ctx.done_upto,
+                        len(ctx.rob),
+                        ctx.trace.seq,
+                    )
+                ).encode()
+            )
+        for tc in self.counters:
+            h.update(repr(sorted(tc.as_dict().items())).encode())
+        return h.hexdigest()
+
     def set_policy(self, policy: str | FetchPolicy) -> None:
         """Switch the active fetch policy (ADTS's Policy_Switch())."""
         self.policy = policy if isinstance(policy, FetchPolicy) else create_policy(policy)

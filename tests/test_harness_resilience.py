@@ -225,3 +225,134 @@ class TestSweepResume:
         a = _grid_cell_key(tiny_run(), 2.0, "type3", "mix01")
         b = _grid_cell_key(tiny_run(quanta=3), 2.0, "type3", "mix01")
         assert a != b
+
+
+import repro as _repro_pkg
+from pathlib import Path as _Path
+
+#: The src/ directory to put on sys.path in helper subprocesses.
+ROOT_SRC = _Path(_repro_pkg.__file__).resolve().parents[1]
+
+
+class TestGuardedRunAbandonmentWarning:
+    def test_warns_when_timed_out_attempt_still_runs(self):
+        """The in-process timeout abandons (not stops) CPU-bound work; that
+        limitation must be surfaced loudly, pointing at the executor."""
+        def slow():
+            time.sleep(2.0)
+
+        policy = RetryPolicy(attempts=1, timeout_s=0.05)
+        with pytest.warns(RuntimeWarning, match="SupervisedExecutor"):
+            with pytest.raises(RunFailedError):
+                guarded_run(slow, retry=policy, label="zombie-cell")
+
+    def test_no_warning_when_attempt_finishes_in_time(self, recwarn):
+        policy = RetryPolicy(attempts=1, timeout_s=5.0)
+        assert guarded_run(lambda: "fast", retry=policy) == "fast"
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, RuntimeWarning)]
+
+
+class TestJournalLocking:
+    def test_lock_file_stamped_with_holder_pid(self, tmp_path):
+        import os
+
+        with RunJournal(tmp_path / "j.jsonl") as journal:
+            journal.record("k", {"ipc": 1.0})
+            assert journal.lock_path.exists()
+            assert journal.lock_path.read_text().strip() == str(os.getpid())
+
+    def test_same_process_journals_share_the_lock(self, tmp_path):
+        # flock is per open-file-description: without the process-local
+        # registry, a second journal on the same path would deadlock or
+        # spuriously conflict with its own process.
+        a = RunJournal(tmp_path / "j.jsonl")
+        b = RunJournal(tmp_path / "j.jsonl")
+        a.record("k1", {"ipc": 1.0})
+        b.record("k2", {"ipc": 2.0})  # no JournalError
+        a.close()
+        b.record("k3", {"ipc": 3.0})  # refcount keeps the lock alive
+        b.close()
+
+    def test_cross_process_conflict_raises_with_holder_pid(self, tmp_path):
+        import subprocess
+        import sys
+        import textwrap
+
+        path = tmp_path / "j.jsonl"
+        holder = subprocess.Popen(
+            [sys.executable, "-c", textwrap.dedent(f"""
+                import sys, time
+                sys.path.insert(0, {repr(str(ROOT_SRC))})
+                from repro.harness.journal import RunJournal
+                j = RunJournal({repr(str(path))})
+                j.record("held", {{"ipc": 1.0}})
+                print("locked", flush=True)
+                time.sleep(30)
+            """)],
+            stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            assert holder.stdout.readline().strip() == "locked"
+            mine = RunJournal(path)
+            with pytest.raises(JournalError, match=str(holder.pid)):
+                mine.record("mine", {"ipc": 2.0})
+        finally:
+            holder.kill()
+            holder.wait()
+
+    def test_lock_dies_with_the_holder_process(self, tmp_path):
+        import subprocess
+        import sys
+        import textwrap
+
+        path = tmp_path / "j.jsonl"
+        subprocess.run(
+            [sys.executable, "-c", textwrap.dedent(f"""
+                import sys
+                sys.path.insert(0, {repr(str(ROOT_SRC))})
+                from repro.harness.journal import RunJournal
+                RunJournal({repr(str(path))}).record("theirs", {{"ipc": 1.0}})
+            """)],
+            check=True,
+        )
+        # The writer exited (flock released); a new writer proceeds.
+        with RunJournal(path) as journal:
+            assert journal.load() == 1
+            journal.record("mine", {"ipc": 2.0})
+
+
+class TestBestCellTieBreaking:
+    def _sweep_with_ipc(self, ipc):
+        from repro.harness.sweep import SweepResult
+
+        cells = sorted(ipc)
+        return SweepResult(
+            thresholds=sorted({c[0] for c in cells}),
+            heuristics=sorted({c[1] for c in cells}),
+            mixes=["mix01"],
+            ipc=dict(ipc),
+        )
+
+    def test_tie_broken_by_lowest_threshold_then_name(self):
+        tied = {
+            (3.0, "type4"): 2.5,
+            (2.0, "type3"): 2.5,
+            (2.0, "type1"): 2.5,
+            (1.0, "type2"): 1.0,
+        }
+        sweep = self._sweep_with_ipc(tied)
+        assert sweep.best_cell() == (2.0, "type1")
+
+    def test_tie_break_independent_of_insertion_order(self):
+        # A journal-resumed or parallel sweep populates the dict in a
+        # different order than a fresh serial sweep; the winner must not
+        # change with it.
+        items = [((2.0, "type3"), 2.5), ((1.0, "type4"), 2.5), ((3.0, "type1"), 2.0)]
+        forward = self._sweep_with_ipc(dict(items))
+        backward = self._sweep_with_ipc(dict(reversed(items)))
+        assert forward.best_cell() == backward.best_cell() == (1.0, "type4")
+
+    def test_unique_max_still_wins(self):
+        sweep = self._sweep_with_ipc({(1.0, "type1"): 1.0, (5.0, "type4"): 3.0})
+        assert sweep.best_cell() == (5.0, "type4")
