@@ -12,7 +12,13 @@ Calibration targets the detailed simulator (see `calibrate.py`); the
 benchmarks label which engine produced each series.
 """
 
-from repro.fastmodel.model import FastMixModel, FastRunResult, fast_run_fixed, fast_run_adts
+from repro.fastmodel.model import (
+    FastMixModel,
+    FastRunResult,
+    fast_run_adts,
+    fast_run_fixed,
+    fast_serve,
+)
 from repro.fastmodel.calibrate import CalibrationConstants, DEFAULT_CONSTANTS, calibrate_against_detailed
 
 __all__ = [
@@ -20,6 +26,7 @@ __all__ = [
     "FastRunResult",
     "fast_run_fixed",
     "fast_run_adts",
+    "fast_serve",
     "CalibrationConstants",
     "DEFAULT_CONSTANTS",
     "calibrate_against_detailed",

@@ -261,6 +261,43 @@ def fast_run_fixed(
     )
 
 
+def fast_serve(
+    mix: Union[str, Sequence[str]],
+    mode: str = "adts",
+    policy: str = "icount",
+    heuristic: str = "type3",
+    threshold: float = 2.0,
+    quanta: int = 64,
+    seed: int = 0,
+    quantum_cycles: int = 8192,
+    constants: CalibrationConstants = DEFAULT_CONSTANTS,
+) -> Dict[str, float]:
+    """One request-shaped fast-model run, as a grid-cell-shaped payload.
+
+    This is the simulation service's degraded tier: same payload keys as
+    the detailed engine's ``service_cell`` task (``ipc`` / ``switches`` /
+    ``benign_probability``), so a degraded response is a drop-in for a
+    full-fidelity one — only the response's ``tier``/``degraded`` marking
+    tells them apart.
+    """
+    if mode == "adts":
+        r = fast_run_adts(
+            mix, heuristic, ThresholdConfig(ipc_threshold=threshold),
+            quanta=quanta, seed=seed, quantum_cycles=quantum_cycles,
+            constants=constants,
+        )
+    else:
+        r = fast_run_fixed(
+            mix, policy, quanta=quanta, seed=seed,
+            quantum_cycles=quantum_cycles, constants=constants,
+        )
+    return {
+        "ipc": r.ipc,
+        "switches": r.switches,
+        "benign_probability": r.benign_probability,
+    }
+
+
 def fast_run_adts(
     mix: Union[str, Sequence[str]],
     heuristic: Union[str, Heuristic] = "type3",

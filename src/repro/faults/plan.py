@@ -23,7 +23,11 @@ from typing import Sequence
 #: process-level family (hard crash / CPU-bound hang of the hosting
 #: process); it exists to exercise the supervised executor and is therefore
 #: *not* part of ``all`` — an unsupervised run has nothing to contain it.
-FAULT_KINDS = ("counters", "dt", "policy", "hangs", "worker")
+#: ``service`` is likewise service-level (synthetic overload at admission,
+#: forced full-tier failures that push a circuit breaker toward open); it
+#: only has meaning under :class:`~repro.service.SimulationService` and is
+#: also excluded from ``all``.
+FAULT_KINDS = ("counters", "dt", "policy", "hangs", "worker", "service")
 
 #: The families ``--faults all`` (and :meth:`FaultPlan.storm`) enable.
 IN_PROCESS_FAULT_KINDS = ("counters", "dt", "policy", "hangs")
@@ -64,6 +68,16 @@ class FaultPlan:
         worker_hang_seconds: wall-clock length of an injected process hang
             (finite, so an *unsupervised* run eventually recovers instead
             of wedging forever).
+        service_overload_rate: P(per submitted request) the simulation
+            service treats its admission queue as saturated for that
+            submit, forcing the request down the degradation ladder
+            (degrade or reject) regardless of true queue depth — the
+            chaos stand-in for a traffic spike.
+        service_breaker_trip_rate: P(per full-fidelity dispatch) the
+            dispatched attempt is forced to fail (worker SIGKILL under a
+            supervised pool), pushing the service's circuit breaker toward
+            open. Only meaningful under
+            :class:`~repro.service.SimulationService`.
     """
 
     seed: int = 0
@@ -81,6 +95,8 @@ class FaultPlan:
     worker_crash_rate: float = 0.0
     worker_hang_rate: float = 0.0
     worker_hang_seconds: float = 30.0
+    service_overload_rate: float = 0.0
+    service_breaker_trip_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for f in fields(self):
@@ -147,6 +163,9 @@ class FaultPlan:
         if "worker" in chosen:
             kw["worker_crash_rate"] = rate
             kw["worker_hang_rate"] = rate
+        if "service" in chosen:
+            kw["service_overload_rate"] = rate
+            kw["service_breaker_trip_rate"] = rate
         return cls(seed=seed, **kw)
 
     @classmethod

@@ -10,6 +10,8 @@ Commands map one-to-one onto the experiment index (DESIGN.md §4):
     scaling    throughput vs thread count
     oracle     the clairvoyant per-quantum upper bound
     resilience ADTS under a seeded fault storm vs. clean
+    serve      long-running overload-safe simulation service (JSONL stdio)
+    burst      seeded overload demo (or --emit JSONL for piping into serve)
     mixes      list the 13 mixes
     policies   list the Table-1 policies
 
@@ -18,13 +20,17 @@ inject seeded faults; ``grid`` accepts ``--journal PATH`` / ``--resume``
 for crash-resilient checkpoint/resume sweeps and ``--workers N`` to run
 cells in supervised child processes (crash containment, SIGKILL-enforced
 timeouts and heartbeat-staleness limits, bounded restarts) — results are
-identical to the serial sweep for any worker count.
+identical to the serial sweep for any worker count. A worker-pool ``grid``
+also installs SIGINT/SIGTERM handlers that kill the pool, release the
+journal lock, and exit ``128 + signum`` — Ctrl-C never leaves orphan
+simulator processes or a locked journal behind.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from dataclasses import replace
 from typing import List, Optional
@@ -115,6 +121,22 @@ def cmd_table1(args) -> None:
     _emit(args, out, format_table(["policy", "mean_ipc"], rows, "Table 1"))
 
 
+def _install_pool_signal_handlers(executor, journal) -> None:
+    """SIGINT/SIGTERM: kill the worker pool, unlock the journal, exit
+    ``128 + signum`` — the conventional died-on-signal code, distinct from
+    both success (0) and ordinary failure (1)."""
+
+    def _bail(signum: int, _frame) -> None:
+        print(f"signal {signum}: terminating worker pool", file=sys.stderr)
+        executor.shutdown()
+        if journal is not None:
+            journal.close()
+        sys.exit(128 + signum)
+
+    signal.signal(signal.SIGINT, _bail)
+    signal.signal(signal.SIGTERM, _bail)
+
+
 def cmd_grid(args) -> None:
     """`repro grid`: the Figure 7/8 sweep on the detailed engine."""
     defaults = _defaults(args)
@@ -141,6 +163,7 @@ def cmd_grid(args) -> None:
             max_restarts=max(0, args.retries - 1),
             checkpoint_dir=args.checkpoint_dir,
         ))
+        _install_pool_signal_handlers(executor, journal)
     mixes = [m.strip() for m in args.mixes.split(",") if m.strip()] if args.mixes else None
     grid = run_grid(defaults, quick=not args.full, journal=journal, retry=retry,
                     executor=executor, mixes=mixes)
@@ -219,6 +242,88 @@ def cmd_resilience(args) -> None:
         f"{out['missed_decisions']} missed decisions"
     )
     _emit(args, out, text)
+
+
+def _service_config(args):
+    from repro.service import ServiceConfig
+
+    return ServiceConfig(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        per_client_cap=args.per_client_cap,
+        degrade_at_depth=args.degrade_at,
+        max_attempts=args.max_attempts,
+        breaker_failures=args.breaker_failures,
+        breaker_cooldown_s=args.breaker_cooldown,
+        run_timeout_s=args.run_timeout,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        drain_deadline_s=args.drain_deadline,
+        checkpoint_dir=args.checkpoint_dir,
+        journal_path=args.journal,
+        fault_plan=_fault_plan(args),
+    )
+
+
+def cmd_serve(args) -> int:
+    """`repro serve`: the long-running overload-safe simulation service.
+
+    Speaks JSON lines on stdin/stdout (see :mod:`repro.service.server`).
+    SIGTERM/SIGINT — or ``{"op": "shutdown"}``, or EOF — drains gracefully:
+    admission stops, in-flight work finishes or is checkpointed within the
+    drain deadline, every accepted request gets its response, and the
+    process exits 0.
+    """
+    from repro.service import ServeLoop, SimulationService
+
+    service = SimulationService(_service_config(args))
+    return ServeLoop(service, drain_deadline_s=args.drain_deadline).run()
+
+
+def cmd_burst(args) -> None:
+    """`repro burst`: the deterministic overload demo.
+
+    Default mode submits a seeded burst to an in-process service — paused
+    during submission so the (admitted, degraded, shed, rejected) breakdown
+    depends only on queue state, never on timing — then runs it to
+    completion and prints the breakdown. ``--emit`` instead prints the
+    burst as JSONL submit lines, for piping into a running ``repro serve``.
+    """
+    from dataclasses import asdict
+
+    from repro.service import (
+        BurstSpec,
+        SimulationService,
+        breakdown,
+        generate_burst,
+    )
+
+    spec = BurstSpec(
+        requests=args.requests,
+        seed=args.seed,
+        degradable_fraction=args.degradable_fraction,
+        expired_fraction=args.expired_fraction,
+        quanta=args.quanta,
+        warmup_quanta=args.warmup,
+        quantum_cycles=args.quantum,
+        num_threads=args.threads,
+    )
+    requests = generate_burst(spec)
+    if args.emit:
+        for request in requests:
+            print(json.dumps({"op": "submit", "request": asdict(request)}))
+        return
+    service = SimulationService(_service_config(args))
+    service.paused = True
+    for request in requests:
+        service.submit(request)
+    service.paused = False
+    service.run_until_idle(timeout_s=600)
+    stats = service.drain(args.drain_deadline)
+    bd = breakdown(service.take_completed())
+    print(json.dumps(
+        {"breakdown": bd, "counters": stats["counters"],
+         "breaker": stats["breaker"]},
+        indent=2, default=str))
 
 
 def cmd_scaling(args) -> None:
@@ -332,6 +437,62 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.set_defaults(func=cmd_fastgrid)
 
+    def _add_service_opts(p: argparse.ArgumentParser, workers: int) -> None:
+        p.add_argument("--workers", type=int, default=workers, metavar="N",
+                       help="supervised full-fidelity worker processes "
+                            "(0 = run the full tier inline)")
+        p.add_argument("--queue-capacity", type=int, default=16,
+                       help="admission queue bound")
+        p.add_argument("--per-client-cap", type=int, default=None,
+                       help="max queued jobs per client (default: half the "
+                            "queue capacity)")
+        p.add_argument("--degrade-at", type=int, default=None, metavar="DEPTH",
+                       help="queue depth at which degradable requests are "
+                            "served by the fast model (default: capacity)")
+        p.add_argument("--max-attempts", type=int, default=1,
+                       help="full-tier attempts per request before fallback")
+        p.add_argument("--breaker-failures", type=int, default=3,
+                       help="consecutive failures that open the breaker")
+        p.add_argument("--breaker-cooldown", type=float, default=5.0,
+                       help="seconds before an open breaker half-opens")
+        p.add_argument("--run-timeout", type=float, default=None,
+                       help="per-attempt wall-clock budget in seconds")
+        p.add_argument("--heartbeat-timeout", type=float, default=None,
+                       help="kill a worker whose last heartbeat is older "
+                            "than this many seconds")
+        p.add_argument("--drain-deadline", type=float, default=10.0,
+                       help="graceful-drain budget in seconds")
+        p.add_argument("--journal", default=None, metavar="PATH",
+                       help="response journal: completed full-fidelity "
+                            "payloads are served as instant hits")
+        p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="mid-run snapshot directory for killed stragglers")
+        p.add_argument("--faults", default=None, metavar="KINDS",
+                       help="service chaos hooks: comma list including "
+                            "'service' (overload + breaker-trip draws)")
+        p.add_argument("--fault-rate", type=float, default=0.25)
+        p.add_argument("--fault-seed", type=int, default=None)
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("serve",
+                       help="overload-safe simulation service (JSONL stdio)")
+    _add_service_opts(p, workers=2)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("burst", help="seeded overload demo")
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--degradable-fraction", type=float, default=0.8)
+    p.add_argument("--expired-fraction", type=float, default=0.1)
+    p.add_argument("--quanta", type=int, default=2)
+    p.add_argument("--warmup", type=int, default=1)
+    p.add_argument("--quantum", type=int, default=256)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--emit", action="store_true",
+                   help="print the burst as JSONL submit lines (for piping "
+                        "into `repro serve`) instead of running the demo")
+    _add_service_opts(p, workers=2)
+    p.set_defaults(func=cmd_burst)
+
     for name, func in (("mixes", cmd_mixes), ("policies", cmd_policies)):
         p = sub.add_parser(name, help=f"list {name}")
         p.add_argument("--json", action="store_true")
@@ -344,14 +505,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     try:
-        args.func(args)
+        rc = args.func(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         try:
             sys.stdout.close()
         except Exception:
             pass
-    return 0
+        return 0
+    return rc if isinstance(rc, int) else 0
 
 
 if __name__ == "__main__":

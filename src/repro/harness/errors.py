@@ -107,3 +107,25 @@ FAILURE_KINDS = (
     FAILURE_EXCEPTION,
     FAILURE_INVARIANT,
 )
+
+
+#: Service outcome taxonomy: every way the simulation service can answer a
+#: request, as stable strings (every response carries exactly one of these,
+#: so load tests and dashboards can count dispositions without parsing
+#: reason text). ``degraded`` responses were *served* — by the calibrated
+#: fast model instead of the detailed pipeline — while ``rejected``/``shed``
+#: requests were refused (at admission) or dropped (at dequeue, deadline
+#: already blown) without being simulated at all.
+OUTCOME_FULL = "full"  # served at full fidelity by the detailed engine
+OUTCOME_DEGRADED = "degraded"  # served by the fast model (ladder step)
+OUTCOME_REJECTED = "rejected"  # refused at admission (full queue, quota, …)
+OUTCOME_SHED = "shed"  # dequeued past its deadline; dropped unserved
+OUTCOME_FAILED = "failed"  # full tier failed and no degrade path applied
+
+OUTCOME_KINDS = (
+    OUTCOME_FULL,
+    OUTCOME_DEGRADED,
+    OUTCOME_REJECTED,
+    OUTCOME_SHED,
+    OUTCOME_FAILED,
+)

@@ -31,6 +31,18 @@ failures` using the stable taxonomy strings of
 :mod:`repro.harness.errors` (``crash`` / ``timeout`` / ``stalled-heartbeat``
 / ``exception`` / ``invariant``), so post-mortems can count causes without
 parsing messages.
+
+Two consumption styles share one pool:
+
+* **batch** — :meth:`SupervisedExecutor.run` takes a list of items and
+  blocks until all complete (retrying per config), as sweeps always have;
+* **streaming** — :meth:`SupervisedExecutor.spawn_attempt` /
+  :meth:`~SupervisedExecutor.pump` expose the same supervision (heartbeats,
+  SIGKILL limits, crash taxonomy) one attempt at a time without blocking,
+  so a long-lived caller such as
+  :class:`~repro.service.SimulationService` can interleave dispatch with
+  its own admission/backpressure logic. ``run()`` is implemented on top of
+  the streaming primitives.
 """
 
 from __future__ import annotations
@@ -107,6 +119,51 @@ def _run_grid_cell(spec: dict, progress, checkpoint_path: Optional[Path]) -> dic
 
 
 register_task_kind("grid_cell", _run_grid_cell)
+
+
+def _run_service_cell(spec, progress, checkpoint_path: Optional[Path]) -> dict:
+    """The simulation service's full-fidelity task: one detailed-engine run.
+
+    ``spec["config"]`` is a picklable :class:`~repro.harness.runner.RunConfig`;
+    ``spec["mode"]`` selects ADTS vs a fixed policy. Registered here (not in
+    the service module) so spawn-method workers, which import only this
+    module, can resolve it. ``force_crash`` is the service's breaker-trip
+    fault hook: the attempt dies by SIGKILL before simulating, exercising
+    the real crash-containment path rather than a synthetic exception.
+    """
+    if spec.get("force_crash"):
+        import os
+        import signal as _signal
+
+        os.kill(os.getpid(), _signal.SIGKILL)
+    from repro.harness.runner import run_adts, run_fixed
+
+    cfg = spec["config"]
+    plan = spec.get("fault_plan")
+    if plan is not None and spec.get("strip_worker_faults"):
+        plan = plan.without_worker_faults()
+    checkpoint = None
+    if checkpoint_path is not None:
+        checkpoint = CheckpointPlan(path=checkpoint_path)
+    if spec.get("mode", "adts") == "adts":
+        r = run_adts(
+            cfg,
+            heuristic=spec.get("heuristic", "type3"),
+            thresholds=ThresholdConfig(ipc_threshold=spec.get("threshold", 2.0)),
+            fault_plan=plan,
+            progress=progress,
+            checkpoint=checkpoint,
+        )
+    else:
+        r = run_fixed(cfg, fault_plan=plan, progress=progress, checkpoint=checkpoint)
+    return {
+        "ipc": r.ipc,
+        "switches": r.scheduler.get("switches", 0),
+        "benign_probability": r.scheduler.get("benign_probability", 0.0),
+    }
+
+
+register_task_kind("service_cell", _run_service_cell)
 
 
 # ---------------------------------------------------------------------------
@@ -215,6 +272,27 @@ class _Attempt:
         self.outcome = None  # ("result", payload) | ("error", kind, repr)
 
 
+@dataclass(frozen=True)
+class AttemptOutcome:
+    """One finished attempt, as reported by :meth:`SupervisedExecutor.pump`.
+
+    ``payload`` is the task's result dict on success and None on failure;
+    a failure also carries its taxonomy string (``failure_kind``, one of
+    :data:`~repro.harness.errors.FAILURE_KINDS`) and the classified
+    exception. The caller owns the retry decision.
+    """
+
+    item: WorkItem
+    attempt: int
+    payload: Optional[dict] = None
+    failure_kind: Optional[str] = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.payload is not None
+
+
 class SupervisedExecutor:
     """Run :class:`WorkItem` batches in supervised child processes.
 
@@ -227,12 +305,77 @@ class SupervisedExecutor:
         self.config = config or ExecutorConfig()
         self.failures: List[dict] = []
         self._last_error: Dict[str, BaseException] = {}  # result_key -> last failure
+        self._live: List[_Attempt] = []
         method = self.config.start_method
         if method is None:
             method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         self._ctx = multiprocessing.get_context(method)
 
-    # -- public API ---------------------------------------------------------
+    # -- streaming API ------------------------------------------------------
+    @property
+    def active(self) -> int:
+        """Live (spawned, not yet reaped) attempts."""
+        return len(self._live)
+
+    def has_capacity(self) -> bool:
+        """Whether another attempt can spawn without exceeding ``workers``."""
+        return len(self._live) < self.config.workers
+
+    def spawn_attempt(self, item: WorkItem, attempt: int = 1) -> None:
+        """Start one supervised attempt of ``item`` (non-blocking)."""
+        self._live.append(self._spawn(item, attempt))
+
+    def pump(self) -> List[AttemptOutcome]:
+        """Drain heartbeats, enforce limits, reap finished attempts.
+
+        Non-blocking; returns one :class:`AttemptOutcome` per attempt that
+        finished since the last pump (success or taxonomy-classified
+        failure). Retry policy is the caller's business here — ``run()``
+        layers the batch retry/backoff logic on top.
+        """
+        self._poll(self._live)
+        finished: List[AttemptOutcome] = []
+        still: List[_Attempt] = []
+        for att in self._live:
+            done, payload = self._reap(att)
+            if not done:
+                still.append(att)
+                continue
+            if payload is not None:
+                finished.append(AttemptOutcome(att.item, att.attempt, payload))
+            else:
+                finished.append(
+                    AttemptOutcome(
+                        att.item,
+                        att.attempt,
+                        None,
+                        self.failures[-1]["kind"],
+                        self._last_error.get(att.item.result_key),
+                    )
+                )
+        self._live = still
+        return finished
+
+    def live_workers(self) -> List[dict]:
+        """Liveness snapshot of the pool (for service health endpoints)."""
+        return [
+            {
+                "label": att.item.label,
+                "attempt": att.attempt,
+                "pid": att.proc.pid,
+                "alive": att.proc.is_alive(),
+                "age_s": time.monotonic() - att.started,
+                "last_beat_age_s": time.monotonic() - att.last_beat,
+            }
+            for att in self._live
+        ]
+
+    def shutdown(self) -> None:
+        """SIGKILL every live attempt and reap it. Idempotent."""
+        live, self._live = self._live, []
+        self._kill_all(live)
+
+    # -- batch API ----------------------------------------------------------
     def run(
         self, items: List[WorkItem], journal: Optional[RunJournal] = None
     ) -> Dict[str, dict]:
@@ -259,36 +402,28 @@ class SupervisedExecutor:
 
         attempts_done: Dict[str, int] = {}  # result_key -> attempts so far
         backlog: List[tuple] = [(0.0, i, item) for i, item in enumerate(pending)]
-        live: List[_Attempt] = []
         try:
-            while backlog or live:
+            while backlog or self._live:
                 now = time.monotonic()
-                while backlog and len(live) < self.config.workers and backlog[0][0] <= now:
+                while backlog and self.has_capacity() and backlog[0][0] <= now:
                     _, _, item = backlog.pop(0)
-                    live.append(self._spawn(item, attempts_done.get(item.result_key, 0) + 1))
-                self._poll(live)
-                still_live: List[_Attempt] = []
-                for att in live:
-                    done, payload = self._reap(att)
-                    if not done:
-                        still_live.append(att)
-                        continue
-                    key = att.item.result_key
-                    attempts_done[key] = att.attempt
-                    if payload is not None:
-                        results[key] = payload
-                        if journal is not None and att.item.key:
-                            journal.record(att.item.key, payload)
+                    self.spawn_attempt(item, attempts_done.get(item.result_key, 0) + 1)
+                for out in self.pump():
+                    key = out.item.result_key
+                    attempts_done[key] = out.attempt
+                    if out.payload is not None:
+                        results[key] = out.payload
+                        if journal is not None and out.item.key:
+                            journal.record(out.item.key, out.payload)
                     else:
-                        retry_at = self._on_failure(att)
+                        retry_at = self._on_failure(out.item, out.attempt)
                         # _on_failure raised if the budget is exhausted
-                        backlog.append((retry_at, len(backlog), att.item))
+                        backlog.append((retry_at, len(backlog), out.item))
                         backlog.sort(key=lambda t: (t[0], t[1]))
-                live = still_live
-                if live or backlog:
+                if self._live or backlog:
                     time.sleep(self.config.poll_interval_s)
         finally:
-            self._kill_all(live)
+            self.shutdown()
         return results
 
     # -- internals ----------------------------------------------------------
@@ -395,17 +530,17 @@ class SupervisedExecutor:
             exc if exc is not None else RuntimeError(detail)
         )
 
-    def _on_failure(self, att: _Attempt) -> float:
+    def _on_failure(self, item: WorkItem, attempt: int) -> float:
         """Decide retry-or-raise for a failed attempt.
 
         Returns the monotonic time before which the retry must not start;
         raises :class:`RunFailedError` when the restart budget is spent.
         """
         cfg = self.config
-        if att.attempt > cfg.max_restarts:
-            last = self._last_error.get(att.item.result_key)
-            raise RunFailedError(att.item.label, att.attempt, last) from last
-        delay = cfg.restart_backoff_s * (cfg.backoff_factor ** (att.attempt - 1))
+        if attempt > cfg.max_restarts:
+            last = self._last_error.get(item.result_key)
+            raise RunFailedError(item.label, attempt, last) from last
+        delay = cfg.restart_backoff_s * (cfg.backoff_factor ** (attempt - 1))
         return time.monotonic() + delay
 
     def _kill(self, att: _Attempt) -> None:

@@ -22,6 +22,16 @@ the journal object's lifetime; a second writer fails fast with a
 :class:`JournalError` naming the live holder instead of corrupting the
 file. The lock dies with the process (flock semantics), so a SIGKILLed
 sweep never leaves a stale lock behind.
+
+**Stale-lock breaking.** A flock can outlive its *stamped* holder: the
+lock fd is inherited across fork, so when a supervisor that took the lock
+is SIGKILLed while a forked worker still holds the inherited descriptor,
+every later writer sees a lock "held" by a PID that no longer exists and
+wedges until someone deletes the sidecar by hand. ``acquire_lock`` now
+detects that case — flock conflict *and* stamped holder PID dead — breaks
+the stale lock by unlinking the sidecar (a fresh inode carries no old
+flock), and retries once. A conflict whose stamped holder is alive still
+fails fast exactly as before.
 """
 
 from __future__ import annotations
@@ -44,6 +54,19 @@ except ImportError:  # non-POSIX: locking degrades to no-op
 #: objects in one process instead share the handle (one process = one
 #: writer, which is the property the lock exists to enforce).
 _PROCESS_LOCKS: Dict[str, list] = {}
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # exists but isn't ours (EPERM): definitely alive
+    return True
 
 
 class RunJournal:
@@ -127,24 +150,50 @@ class RunJournal:
             entry[1] += 1
             self._lock_key = key
             return
-        fh = open(self.lock_path, "a+", encoding="utf-8")
-        try:
-            fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
-        except OSError:
+        for final in (False, True):
+            fh = open(self.lock_path, "a+", encoding="utf-8")
+            try:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                fh.seek(0)
+                holder = fh.read().strip() or "unknown"
+                fh.close()
+                if not final and self._break_if_stale(holder):
+                    continue  # sidecar unlinked: retry on a fresh inode
+                raise JournalError(
+                    f"{self.path}: journal is locked by another sweep "
+                    f"(holder pid {holder}); two writers would interleave "
+                    "partial lines — use a separate journal or wait for it"
+                ) from None
             fh.seek(0)
-            holder = fh.read().strip() or "unknown"
-            fh.close()
-            raise JournalError(
-                f"{self.path}: journal is locked by another sweep "
-                f"(holder pid {holder}); two writers would interleave "
-                "partial lines — use a separate journal or wait for it"
-            ) from None
-        fh.seek(0)
-        fh.truncate()
-        fh.write(str(os.getpid()))
-        fh.flush()
-        _PROCESS_LOCKS[key] = [fh, 1]
-        self._lock_key = key
+            fh.truncate()
+            fh.write(str(os.getpid()))
+            fh.flush()
+            _PROCESS_LOCKS[key] = [fh, 1]
+            self._lock_key = key
+            return
+
+    def _break_if_stale(self, holder: str) -> bool:
+        """Unlink the lock sidecar when its stamped holder is dead.
+
+        The flock itself may still be held by an fd the dead holder's
+        orphaned children inherited; removing the sidecar moves new writers
+        onto a fresh inode the stale descriptor does not lock. Returns True
+        when the lock was broken. An unparseable stamp is treated as live —
+        a racing writer stamps its PID an instant after flocking, and
+        breaking in that window would admit a second writer.
+        """
+        try:
+            holder_pid = int(holder)
+        except ValueError:
+            return False
+        if _pid_alive(holder_pid):
+            return False
+        try:
+            os.unlink(self.lock_path)
+        except FileNotFoundError:
+            pass  # another contender broke it first; the retry sorts it out
+        return True
 
     def release_lock(self) -> None:
         """Drop this object's hold on the writer lock; the last holder in

@@ -40,12 +40,26 @@ class RetryPolicy:
         attempts: total tries (1 = no retry).
         backoff_s: sleep before the first retry.
         backoff_factor: multiplier applied to the sleep after each retry.
+        backoff_max_s: hard cap on any single retry sleep (None = uncapped).
+            Without it ``backoff_s * factor^n`` grows without limit and a
+            long retry budget can sleep for hours.
+        jitter: apply *full jitter* — each retry sleeps a uniform draw from
+            ``[0, capped_backoff]`` instead of the deterministic ladder, so
+            a fleet of retriers doesn't thundering-herd in lockstep. The
+            draw is seeded (``jitter_seed`` via the standard
+            :class:`~repro.util.seeds.SeedSequencer` substream machinery)
+            and keyed by label and attempt, so a seeded run's sleep
+            schedule is still reproducible.
+        jitter_seed: root seed of the jitter stream.
         timeout_s: per-attempt wall-clock budget (None = unbounded).
     """
 
     attempts: int = 3
     backoff_s: float = 0.05
     backoff_factor: float = 2.0
+    backoff_max_s: Optional[float] = None
+    jitter: bool = False
+    jitter_seed: int = 0
     timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
@@ -55,8 +69,31 @@ class RetryPolicy:
             raise ValueError("backoff_s must be >= 0")
         if self.backoff_factor < 1.0:
             raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_max_s is not None and self.backoff_max_s < 0:
+            raise ValueError("backoff_max_s must be >= 0")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
+
+    def backoff_delay(self, failed_attempts: int, label: str = "run") -> float:
+        """Sleep before the retry that follows ``failed_attempts`` failures.
+
+        The exponential ladder ``backoff_s * factor^(n-1)`` clamped to
+        ``backoff_max_s``; with ``jitter`` enabled, a seeded uniform draw
+        from ``[0, clamped]`` (full jitter, per AWS's retry guidance).
+        """
+        if failed_attempts < 1:
+            raise ValueError("failed_attempts must be >= 1")
+        base = self.backoff_s * self.backoff_factor ** (failed_attempts - 1)
+        if self.backoff_max_s is not None:
+            base = min(base, self.backoff_max_s)
+        if self.jitter and base > 0.0:
+            from repro.util.seeds import SeedSequencer
+
+            rng = SeedSequencer(self.jitter_seed).generator(
+                "retry-jitter", label, failed_attempts
+            )
+            return float(rng.uniform(0.0, base))
+        return base
 
 
 def _call_with_timeout(fn: Callable[[], T], timeout_s: float, label: str) -> T:
@@ -105,7 +142,6 @@ def guarded_run(
     :class:`RunFailedError` with the final failure chained.
     """
     policy = retry or RetryPolicy()
-    delay = policy.backoff_s
     last: Optional[BaseException] = None
     for attempt in range(1, policy.attempts + 1):
         try:
@@ -116,7 +152,8 @@ def guarded_run(
             raise
         except Exception as exc:  # noqa: BLE001 — the guard exists to contain these
             last = exc
-            if attempt < policy.attempts and delay > 0:
-                time.sleep(delay)
-                delay *= policy.backoff_factor
+            if attempt < policy.attempts:
+                delay = policy.backoff_delay(attempt, label)
+                if delay > 0:
+                    time.sleep(delay)
     raise RunFailedError(label, policy.attempts, last) from last

@@ -1,0 +1,56 @@
+"""Overload-safe simulation serving.
+
+Wraps the batch harness in a long-running service with bounded admission
+(backpressure, per-client fairness, deadline shedding), a circuit breaker
+over the full-fidelity worker pool, graceful degradation onto the
+calibrated fast model (every degraded answer explicitly marked), and a
+drain path that answers every accepted request before exit. See
+``DESIGN.md`` §9 and the module docstrings for the full story.
+"""
+
+from repro.service.admission import (
+    AdmissionQueue,
+    REASON_CLIENT_QUOTA,
+    REASON_QUEUE_FULL,
+)
+from repro.service.breaker import (
+    CircuitBreaker,
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+)
+from repro.service.loadgen import BurstSpec, breakdown, generate_burst
+from repro.service.request import (
+    QueueEntry,
+    SimRequest,
+    SimResponse,
+    TIER_FAST,
+    TIER_FULL,
+    TIER_KINDS,
+    TIER_NONE,
+)
+from repro.service.server import ServeLoop
+from repro.service.service import ServiceConfig, SimulationService
+
+__all__ = [
+    "AdmissionQueue",
+    "BurstSpec",
+    "CircuitBreaker",
+    "QueueEntry",
+    "REASON_CLIENT_QUOTA",
+    "REASON_QUEUE_FULL",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "ServeLoop",
+    "ServiceConfig",
+    "SimRequest",
+    "SimResponse",
+    "SimulationService",
+    "TIER_FAST",
+    "TIER_FULL",
+    "TIER_KINDS",
+    "TIER_NONE",
+    "breakdown",
+    "generate_burst",
+]

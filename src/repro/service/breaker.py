@@ -1,0 +1,133 @@
+"""Circuit breaker over the full-fidelity worker pool.
+
+Classic three-state breaker, specialised to the harness's failure taxonomy:
+
+* **closed** — full-fidelity dispatch flows normally. Consecutive failures
+  (``crash`` / ``timeout`` / ``stalled-heartbeat`` / … — the
+  :data:`~repro.harness.errors.FAILURE_KINDS` strings) are counted; any
+  success resets the count. Reaching ``failure_threshold`` opens the
+  breaker.
+* **open** — the detailed engine is presumed down (crashing build, OOM
+  loop, poisoned cache …). No full-fidelity work is dispatched; the
+  service serves degradable requests from the fast model instead of
+  queueing doomed attempts. After ``cooldown_s`` the breaker half-opens.
+* **half-open** — exactly one *canary* attempt is allowed through. Its
+  success closes the breaker (normal service resumes); its failure
+  re-opens it for another cooldown.
+
+Every transition is recorded (from, to, reason, at) so operators can
+reconstruct exactly when and why fidelity was lost and restored.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a single-canary half-open probe."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._canary_in_flight = False
+        self.transitions: List[dict] = []
+
+    # -- state --------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state; an elapsed cooldown promotes open → half-open."""
+        if (
+            self._state == STATE_OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._transition(STATE_HALF_OPEN, "cooldown-elapsed")
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def allow_full(self) -> bool:
+        """May one full-fidelity attempt be dispatched right now?
+
+        In half-open state this admits exactly one canary; the caller must
+        resolve it via :meth:`record_success` / :meth:`record_failure`
+        before another attempt is allowed.
+        """
+        state = self.state  # may promote open -> half-open
+        if state == STATE_CLOSED:
+            return True
+        if state == STATE_HALF_OPEN and not self._canary_in_flight:
+            self._canary_in_flight = True
+            return True
+        return False
+
+    def cancel_probe(self) -> None:
+        """Release a canary slot reserved by :meth:`allow_full` when the
+        caller found nothing to probe with (e.g. the queue went empty)."""
+        self._canary_in_flight = False
+
+    # -- outcome feedback ----------------------------------------------------
+    def record_success(self) -> None:
+        """A full-fidelity attempt finished: reset the streak; a canary's
+        success closes the breaker."""
+        self._consecutive_failures = 0
+        self._canary_in_flight = False
+        if self._state != STATE_CLOSED:
+            self._transition(STATE_CLOSED, "probe-succeeded")
+
+    def record_failure(self, kind: str = "unknown") -> None:
+        """A full-fidelity attempt failed (``kind`` from the supervisor's
+        taxonomy): extend the streak, opening or re-opening as configured."""
+        self._consecutive_failures += 1
+        was_canary, self._canary_in_flight = self._canary_in_flight, False
+        if self._state == STATE_HALF_OPEN:
+            self._reopen(f"probe-failed:{kind}" if was_canary else f"failure:{kind}")
+        elif (
+            self._state == STATE_CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._reopen(
+                f"{self._consecutive_failures} consecutive failures "
+                f"(last: {kind})"
+            )
+
+    # -- internals -----------------------------------------------------------
+    def _reopen(self, reason: str) -> None:
+        self._opened_at = self._clock()
+        self._transition(STATE_OPEN, reason)
+
+    def _transition(self, to: str, reason: str) -> None:
+        self.transitions.append(
+            {"from": self._state, "to": to, "reason": reason, "at": self._clock()}
+        )
+        self._state = to
+
+    def snapshot(self) -> dict:
+        """Telemetry view for ``stats()``/``health()``."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "transitions": len(self.transitions),
+            "last_transition": self.transitions[-1] if self.transitions else None,
+        }

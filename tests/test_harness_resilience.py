@@ -356,3 +356,150 @@ class TestBestCellTieBreaking:
     def test_unique_max_still_wins(self):
         sweep = self._sweep_with_ipc({(1.0, "type1"): 1.0, (5.0, "type4"): 3.0})
         assert sweep.best_cell() == (5.0, "type4")
+
+
+class TestBackoffPolicy:
+    def test_uncapped_ladder_is_exponential(self):
+        p = RetryPolicy(attempts=5, backoff_s=0.5, backoff_factor=2.0)
+        assert [p.backoff_delay(n) for n in (1, 2, 3)] == [0.5, 1.0, 2.0]
+
+    def test_backoff_max_caps_every_rung(self):
+        p = RetryPolicy(attempts=8, backoff_s=1.0, backoff_factor=10.0,
+                        backoff_max_s=3.0)
+        assert p.backoff_delay(1) == 1.0
+        assert p.backoff_delay(2) == 3.0
+        assert p.backoff_delay(6) == 3.0  # 10^5 s without the cap
+
+    def test_full_jitter_is_bounded_by_the_capped_ladder(self):
+        p = RetryPolicy(attempts=8, backoff_s=1.0, backoff_factor=10.0,
+                        backoff_max_s=3.0, jitter=True, jitter_seed=7)
+        for n in range(1, 8):
+            cap = min(1.0 * 10.0 ** (n - 1), 3.0)
+            assert 0.0 <= p.backoff_delay(n, "cell") <= cap
+
+    def test_jitter_is_seeded_and_reproducible(self):
+        kw = dict(attempts=5, backoff_s=1.0, jitter=True, jitter_seed=42)
+        a = RetryPolicy(**kw)
+        b = RetryPolicy(**kw)
+        assert [a.backoff_delay(n, "x") for n in (1, 2, 3)] == \
+               [b.backoff_delay(n, "x") for n in (1, 2, 3)]
+
+    def test_jitter_varies_across_label_attempt_and_seed(self):
+        p = RetryPolicy(attempts=5, backoff_s=1.0, jitter=True, jitter_seed=1)
+        q = RetryPolicy(attempts=5, backoff_s=1.0, jitter=True, jitter_seed=2)
+        draws = {p.backoff_delay(1, "a"), p.backoff_delay(2, "a"),
+                 p.backoff_delay(1, "b"), q.backoff_delay(1, "a")}
+        assert len(draws) == 4  # independent substreams, no lockstep herd
+
+    def test_zero_backoff_never_jitters_into_a_sleep(self):
+        p = RetryPolicy(attempts=3, backoff_s=0.0, jitter=True)
+        assert p.backoff_delay(1) == 0.0
+
+    def test_guarded_run_honours_the_cap(self):
+        calls = []
+
+        def flaky():
+            calls.append(time.monotonic())
+            if len(calls) < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        policy = RetryPolicy(attempts=3, backoff_s=60.0, backoff_factor=2.0,
+                             backoff_max_s=0.01)
+        t0 = time.monotonic()
+        assert guarded_run(flaky, retry=policy) == "ok"
+        assert time.monotonic() - t0 < 5.0  # uncapped would sleep 3 minutes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_max_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_delay(0)
+
+
+class TestStaleLockBreaking:
+    def test_dead_holder_stamp_is_broken(self, tmp_path):
+        """A lock flocked by an orphan (fork-inherited fd) but stamped with
+        a dead PID is stale; a new writer breaks it and proceeds."""
+        import os
+        import signal as _signal
+        import subprocess
+        import sys
+        import textwrap
+
+        path = tmp_path / "j.jsonl"
+        # The parent takes the lock (stamping its PID), forks a child that
+        # inherits the flocked fd, then exits: the stamp now names a dead
+        # process while the orphan's inherited fd still holds the flock.
+        proc = subprocess.run(
+            [sys.executable, "-c", textwrap.dedent(f"""
+                import os, sys, time
+                sys.path.insert(0, {repr(str(ROOT_SRC))})
+                from repro.harness.journal import RunJournal
+                j = RunJournal({repr(str(path))})
+                j.record("held", {{"ipc": 1.0}})
+                pid = os.fork()
+                if pid == 0:
+                    time.sleep(60)
+                    os._exit(0)
+                print(pid, flush=True)
+                os._exit(0)  # die without releasing; the orphan holds on
+            """)],
+            stdout=subprocess.PIPE, text=True, check=True,
+        )
+        orphan = int(proc.stdout.strip())
+        try:
+            with RunJournal(path) as mine:
+                assert mine.load() == 1
+                mine.record("mine", {"ipc": 2.0})  # breaks the stale lock
+            assert RunJournal(path).load() == 2
+        finally:
+            os.kill(orphan, _signal.SIGKILL)
+
+    def test_live_holder_is_never_broken(self, tmp_path):
+        """Same flock-held-elsewhere shape, but the stamped PID is alive:
+        the lock must be respected, not stolen."""
+        import subprocess
+        import sys
+        import textwrap
+
+        path = tmp_path / "j.jsonl"
+        holder = subprocess.Popen(
+            [sys.executable, "-c", textwrap.dedent(f"""
+                import sys, time
+                sys.path.insert(0, {repr(str(ROOT_SRC))})
+                from repro.harness.journal import RunJournal
+                j = RunJournal({repr(str(path))})  # bound: lock stays held
+                j.record("held", {{"ipc": 1.0}})
+                print("locked", flush=True)
+                time.sleep(60)
+            """)],
+            stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            assert holder.stdout.readline().strip() == "locked"
+            with pytest.raises(JournalError, match=str(holder.pid)):
+                RunJournal(path).record("mine", {"ipc": 2.0})
+        finally:
+            holder.kill()
+            holder.wait()
+
+    def test_unparseable_stamp_is_treated_as_live(self, tmp_path):
+        """A garbage stamp is the racing-writer window (opened, flocked,
+        not yet stamped), not proof of death: never break it."""
+        from repro.harness.journal import RunJournal as _RJ
+
+        j = _RJ(tmp_path / "j.jsonl")
+        assert j._break_if_stale("") is False
+        assert j._break_if_stale("not-a-pid") is False
+
+    def test_pid_alive_probe(self):
+        import os
+
+        from repro.harness.journal import _pid_alive
+
+        assert _pid_alive(os.getpid()) is True
+        assert _pid_alive(-1) is False
+        assert _pid_alive(0) is False
