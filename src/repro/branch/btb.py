@@ -8,19 +8,23 @@ policies react to.
 
 from __future__ import annotations
 
-import numpy as np
-
 
 class BranchTargetBuffer:
-    """Direct-mapped BTB with full tags."""
+    """Direct-mapped BTB with full tags.
+
+    Tag/target stores are plain lists: one lookup per fetched branch makes
+    this a hot structure, and list indexing avoids NumPy scalar dispatch.
+    """
+
+    __slots__ = ("entries", "mask", "_tags", "_targets", "hits", "misses")
 
     def __init__(self, entries: int = 256) -> None:
         if entries <= 0 or entries & (entries - 1):
             raise ValueError("BTB size must be a positive power of two")
         self.entries = entries
         self.mask = entries - 1
-        self._tags = np.full(entries, -1, dtype=np.int64)
-        self._targets = np.zeros(entries, dtype=np.int64)
+        self._tags = [-1] * entries
+        self._targets = [0] * entries
         self.hits = 0
         self.misses = 0
 
@@ -29,7 +33,7 @@ class BranchTargetBuffer:
         idx = (pc >> 2) & self.mask
         if self._tags[idx] == pc:
             self.hits += 1
-            return int(self._targets[idx])
+            return self._targets[idx]
         self.misses += 1
         return -1
 
@@ -46,7 +50,7 @@ class BranchTargetBuffer:
 
     def reset(self) -> None:
         """Invalidate all entries and clear statistics."""
-        self._tags.fill(-1)
-        self._targets.fill(0)
+        self._tags = [-1] * self.entries
+        self._targets = [0] * self.entries
         self.hits = 0
         self.misses = 0

@@ -67,6 +67,11 @@ class _ThreadState:
     weights: np.ndarray
     phase: PhaseProfile
     remaining: int  # instructions left in the current phase
+    # (l1_miss_per_load, dram_per_load) per phase, precomputed at
+    # construction: the rates depend only on (profile, footprint_scale),
+    # both fixed per phase, so recomputing them every quantum is waste.
+    derived: Tuple[Tuple[float, float], ...] = ()
+    phase_idx: int = 0
 
     @property
     def storming(self) -> bool:
@@ -120,7 +125,12 @@ class FastMixModel:
             phases = profile.phases or (_BASE_PHASE,)
             weights = np.array([p.weight for p in phases], dtype=float)
             weights /= weights.sum()
-            state = _ThreadState(profile, phases, weights, phases[0], 0)
+            derived = tuple(
+                (_l1_miss_per_load(profile, ph.footprint_scale),
+                 _dram_per_load(profile, ph.footprint_scale))
+                for ph in phases
+            )
+            state = _ThreadState(profile, phases, weights, phases[0], 0, derived)
             self._enter_phase(state)
             self.threads.append(state)
         self._noise = 0.0
@@ -130,6 +140,7 @@ class FastMixModel:
     def _enter_phase(self, state: _ThreadState) -> None:
         idx = int(self.rng.choice(len(state.phases), p=state.weights))
         state.phase = state.phases[idx]
+        state.phase_idx = idx
         state.remaining = max(1, int(self.rng.geometric(1.0 / state.phase.mean_length)))
 
     def _advance_phase(self, state: _ThreadState, committed: int) -> None:
@@ -153,8 +164,7 @@ class FastMixModel:
         branch_per_instr = p.branch_frac * p.cond_branch_frac
         mispredict_per_branch = min(0.5, p.mispredict_target * ph.mispredict_scale)
         load_frac = min(0.7, p.load_frac * ph.load_scale)
-        l1_miss = _l1_miss_per_load(p, ph.footprint_scale)
-        dram = _dram_per_load(p, ph.footprint_scale)
+        l1_miss, dram = state.derived[state.phase_idx]
         cpi = (
             c.base_cpi / max(0.5, ph.dep_scale)
             + branch_per_instr * mispredict_per_branch * c.mispredict_cost

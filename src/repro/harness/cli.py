@@ -349,6 +349,72 @@ def cmd_oracle(args) -> None:
     _emit(args, out, text)
 
 
+def cmd_bench(args) -> int:
+    """`repro bench`: deterministic wall-clock benchmarks.
+
+    ``--baseline PATH`` turns the run into a regression gate (exit 1 when
+    any rate falls more than ``--band`` below the committed baseline);
+    ``--profile-stages`` prints the per-stage wall-clock breakdown;
+    ``--cprofile PATH`` additionally dumps a cProfile of the detailed
+    benchmark for offline ``pstats``/snakeviz analysis.
+    """
+    from repro.perf.bench import (
+        compare_to_baseline,
+        format_report,
+        run_benchmarks,
+    )
+
+    if args.cprofile:
+        import cProfile
+
+        from repro.perf.bench import _detailed_fixed
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        _detailed_fixed(args.seed, 4 if args.quick else 8)
+        profiler.disable()
+        profiler.dump_stats(args.cprofile)
+        print(f"cProfile dump written to {args.cprofile}", file=sys.stderr)
+
+    report = run_benchmarks(quick=args.quick, seed=args.seed,
+                            trace_cache_dir=args.trace_cache)
+    payload = report.to_dict()
+
+    if args.profile_stages:
+        from repro import build_processor
+        from repro.perf.profiler import StageProfiler
+
+        proc = build_processor(mix="mix07", seed=args.seed, policy="icount",
+                               quantum_cycles=1024)
+        prof = StageProfiler(proc)
+        with prof:
+            proc.run_quanta(4 if args.quick else 8)
+        payload["stage_profile"] = prof.report()
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    text = format_report(report)
+    if args.profile_stages:
+        text += "\n  stage shares: " + ", ".join(
+            f"{name} {entry['share']:.0%}"
+            for name, entry in payload["stage_profile"].items())
+    _emit(args, payload, text)
+
+    if args.baseline:
+        failures = compare_to_baseline(report, args.baseline, band=args.band)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"baseline check passed ({args.baseline}, "
+              f"band {args.band:.0%})", file=sys.stderr)
+    return 0
+
+
 def cmd_mixes(args) -> None:
     """`repro mixes`: list the 13 mixes."""
     rows = [[m.name, m.int_count, m.fp_count, f"{m.similarity():.2f}", m.description]
@@ -492,6 +558,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "into `repro serve`) instead of running the demo")
     _add_service_opts(p, workers=2)
     p.set_defaults(func=cmd_burst)
+
+    p = sub.add_parser("bench", help="wall-clock performance benchmarks")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke variant: fewer quanta and repeats")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the full report JSON (e.g. BENCH_PR4.json)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="regression-gate against a committed report JSON")
+    p.add_argument("--band", type=float, default=0.40,
+                   help="allowed fractional rate drop vs the baseline")
+    p.add_argument("--profile-stages", action="store_true",
+                   help="include the per-stage wall-clock breakdown")
+    p.add_argument("--cprofile", default=None, metavar="PATH",
+                   help="dump a cProfile of the detailed benchmark")
+    p.add_argument("--trace-cache", default=None, metavar="DIR",
+                   help="persistent dir for the trace-cache benchmark "
+                        "(default: a throwaway temp dir)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="emit JSON")
+    p.set_defaults(func=cmd_bench)
 
     for name, func in (("mixes", cmd_mixes), ("policies", cmd_policies)):
         p = sub.add_parser(name, help=f"list {name}")

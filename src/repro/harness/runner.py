@@ -37,6 +37,7 @@ from repro.smt.checkpoint import (
 )
 from repro.smt.config import SMTConfig
 from repro.smt.invariants import InvariantChecker
+from repro.workloads.tracecache import flush_trace_cache
 
 ProgressFn = Callable[[int], None]
 
@@ -230,6 +231,7 @@ def run_fixed(
         result.scheduler.update(injector.summary())
     if checker is not None:
         result.scheduler.update(checker.summary())
+    flush_trace_cache()
     return result
 
 
@@ -288,6 +290,7 @@ def run_adts(
         result.scheduler.update(injector.summary())
     if checker is not None:
         result.scheduler.update(checker.summary())
+    flush_trace_cache()
     return result
 
 

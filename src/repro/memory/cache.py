@@ -1,17 +1,17 @@
 """Set-associative cache with true-LRU replacement.
 
-Tag state lives in NumPy arrays (one row per set, one column per way) so a
-full reset is vectorized and a probe touches a single small row — this is
-the hot path of the memory hierarchy, called once per load/store/ifetch.
+Tag state lives in plain Python lists (one row per set, one slot per way):
+a probe is a C-speed ``list.index`` over a 4/8-entry row. This is the hot
+path of the memory hierarchy, called once per load/store/ifetch — the
+original NumPy layout paid several array-dispatch round trips per probe,
+which dominated the per-access cost at these row sizes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-_INVALID = np.int64(-1)
+_INVALID = -1
 
 
 @dataclass(frozen=True)
@@ -62,13 +62,18 @@ class Cache:
     the access hit.
     """
 
+    __slots__ = (
+        "config", "_set_mask", "_offset_bits", "_tags", "_lru", "_stamp",
+        "hits", "misses", "evictions",
+    )
+
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self._set_mask = config.n_sets - 1
         self._offset_bits = config.offset_bits
-        # tags[set, way]; -1 == invalid. lru[set, way]: higher == more recent.
-        self._tags = np.full((config.n_sets, config.ways), _INVALID, dtype=np.int64)
-        self._lru = np.zeros((config.n_sets, config.ways), dtype=np.int64)
+        # tags[set][way]; -1 == invalid. lru[set][way]: higher == more recent.
+        self._tags = [[_INVALID] * config.ways for _ in range(config.n_sets)]
+        self._lru = [[0] * config.ways for _ in range(config.n_sets)]
         self._stamp = 0
         self.hits = 0
         self.misses = 0
@@ -86,15 +91,16 @@ class Cache:
     def probe(self, addr: int) -> bool:
         """Return True on hit, updating LRU but never filling."""
         line = addr >> self._offset_bits
-        row = self._tags[line & self._set_mask]
-        hit_ways = np.nonzero(row == line)[0]
-        if hit_ways.size:
-            self._stamp += 1
-            self._lru[line & self._set_mask, hit_ways[0]] = self._stamp
-            self.hits += 1
-            return True
-        self.misses += 1
-        return False
+        idx = line & self._set_mask
+        try:
+            way = self._tags[idx].index(line)
+        except ValueError:
+            self.misses += 1
+            return False
+        self._stamp += 1
+        self._lru[idx][way] = self._stamp
+        self.hits += 1
+        return True
 
     def fill(self, addr: int) -> int:
         """Insert the line for ``addr``; return the evicted line or -1.
@@ -105,49 +111,79 @@ class Cache:
         idx = line & self._set_mask
         row = self._tags[idx]
         self._stamp += 1
-        hit_ways = np.nonzero(row == line)[0]
-        if hit_ways.size:
-            self._lru[idx, hit_ways[0]] = self._stamp
-            return -1
-        empty = np.nonzero(row == _INVALID)[0]
-        if empty.size:
-            way = int(empty[0])
-            victim = -1
+        try:
+            way = row.index(line)
+        except ValueError:
+            pass
         else:
-            way = int(np.argmin(self._lru[idx]))
-            victim = int(row[way])
+            self._lru[idx][way] = self._stamp
+            return -1
+        try:
+            way = row.index(_INVALID)
+            victim = -1
+        except ValueError:
+            lru_row = self._lru[idx]
+            way = lru_row.index(min(lru_row))
+            victim = row[way]
             self.evictions += 1
         row[way] = line
-        self._lru[idx, way] = self._stamp
+        self._lru[idx][way] = self._stamp
         return victim
 
     def access(self, addr: int) -> bool:
-        """Probe and fill-on-miss in one step. Returns True on hit."""
-        if self.probe(addr):
+        """Probe and fill-on-miss in one step. Returns True on hit.
+
+        One row scan for the hit case (identical stats/LRU effects to
+        ``probe()`` then ``fill()``).
+        """
+        line = addr >> self._offset_bits
+        idx = line & self._set_mask
+        row = self._tags[idx]
+        try:
+            way = row.index(line)
+        except ValueError:
+            self.misses += 1
+        else:
+            self._stamp += 1
+            self._lru[idx][way] = self._stamp
+            self.hits += 1
             return True
-        self.fill(addr)
+        self._stamp += 1
+        try:
+            way = row.index(_INVALID)
+        except ValueError:
+            lru_row = self._lru[idx]
+            way = lru_row.index(min(lru_row))
+            self.evictions += 1
+        row[way] = line
+        self._lru[idx][way] = self._stamp
         return False
 
     def contains(self, addr: int) -> bool:
         """Non-destructive lookup: no LRU update, no stats."""
         line = addr >> self._offset_bits
-        return bool(np.any(self._tags[line & self._set_mask] == line))
+        return line in self._tags[line & self._set_mask]
 
     def invalidate(self, addr: int) -> bool:
         """Drop the line holding ``addr`` if present; return True if dropped."""
         line = addr >> self._offset_bits
         idx = line & self._set_mask
-        hit_ways = np.nonzero(self._tags[idx] == line)[0]
-        if not hit_ways.size:
+        try:
+            way = self._tags[idx].index(line)
+        except ValueError:
             return False
-        self._tags[idx, hit_ways[0]] = _INVALID
-        self._lru[idx, hit_ways[0]] = 0
+        self._tags[idx][way] = _INVALID
+        self._lru[idx][way] = 0
         return True
 
     def reset(self) -> None:
         """Flush all contents and statistics."""
-        self._tags.fill(_INVALID)
-        self._lru.fill(0)
+        for row in self._tags:
+            for w in range(len(row)):
+                row[w] = _INVALID
+        for row in self._lru:
+            for w in range(len(row)):
+                row[w] = 0
         self._stamp = 0
         self.hits = 0
         self.misses = 0
@@ -156,7 +192,9 @@ class Cache:
     @property
     def occupancy(self) -> int:
         """Number of valid lines currently resident."""
-        return int(np.count_nonzero(self._tags != _INVALID))
+        return sum(
+            1 for row in self._tags for tag in row if tag != _INVALID
+        )
 
     @property
     def miss_rate(self) -> float:

@@ -8,6 +8,7 @@ creates the inter-thread cache interference that ADTS reacts to.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict
 
 from repro.memory.cache import Cache, CacheConfig
 from repro.memory.mshr import MSHRFile
@@ -70,6 +71,17 @@ class MemoryHierarchy:
         self.mshr = MSHRFile(self.config.mshr_entries, "l1d-mshr")
         self.prefetcher = prefetcher
         self.prefetch_fills = 0
+        # L1 hits vastly outnumber misses and the result is immutable, so
+        # every hit shares one frozen instance instead of allocating.
+        self._l1_hit = AccessResult(latency=self.config.l1_latency)
+        # I-side fill buffer: line -> cycle its outstanding fill arrives.
+        # The instruction side needs the same decoupling the MSHR file
+        # gives the data side: a thread that re-probes after its miss
+        # latency must be served by the *returning fill* even when a
+        # conflicting fill evicted the line from the tags meanwhile.
+        # Without it, N>ways threads whose hot lines alias one set can
+        # thrash true-LRU in perfect synchrony and livelock fetch.
+        self._ifetch_fills: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def _miss_path(self, cache: Cache, addr: int) -> AccessResult:
@@ -84,16 +96,40 @@ class MemoryHierarchy:
         cache.fill(addr)
         return AccessResult(latency=latency, l1_miss=True, l2_miss=l2_miss)
 
+    #: cycles past fill arrival during which the fill buffer may still
+    #: serve a re-probe (covers TSU scheduling delay on the retry).
+    _IFETCH_FILL_GRACE = 64
+
     def ifetch(self, addr: int, now: int = 0) -> AccessResult:
         """Instruction-cache probe for the line holding ``addr``."""
         if self.l1i.access(addr):
-            return AccessResult(latency=self.config.l1_latency)
-        return self._miss_path(self.l1i, addr)
+            return self._l1_hit
+        line = self.l1i.line_of(addr)
+        fills = self._ifetch_fills
+        ready = fills.get(line)
+        if ready is not None:
+            if now < ready:
+                # Secondary miss: the fill is still in flight.
+                return AccessResult(latency=max(1, ready - now), l1_miss=True)
+            if now <= ready + self._IFETCH_FILL_GRACE:
+                # The fill arrived (the tag may have been evicted by a
+                # conflicting fill since): serve from the fill buffer.
+                # The access() above already re-installed the line.
+                del fills[line]
+                return self._l1_hit
+            # Stale entry: fall through to a fresh miss.
+        result = self._miss_path(self.l1i, addr)
+        fills[line] = now + result.latency
+        if len(fills) > 32:
+            cutoff = now - self._IFETCH_FILL_GRACE
+            for stale in [ln for ln, rdy in fills.items() if rdy < cutoff]:
+                del fills[stale]
+        return result
 
     def load(self, addr: int, now: int = 0) -> AccessResult:
         """Data load. Coalesces with outstanding misses via the MSHR file."""
         if self.l1d.access(addr):
-            return AccessResult(latency=self.config.l1_latency)
+            return self._l1_hit
         line = self.l1d.line_of(addr)
         outstanding = self.mshr.lookup(line)
         if outstanding >= 0:
@@ -130,3 +166,4 @@ class MemoryHierarchy:
         self.l1d.reset()
         self.l2.reset()
         self.mshr.reset()
+        self._ifetch_fills.clear()

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+_NEVER = 1 << 62
+
 
 class MSHRFile:
     """Fixed-capacity table of outstanding miss lines.
@@ -25,6 +27,8 @@ class MSHRFile:
         self.capacity = capacity
         self.name = name
         self._entries: Dict[int, int] = {}  # line -> completion cycle
+        #: earliest outstanding completion cycle (retire fast-path guard).
+        self._next_complete = _NEVER
         self.allocations = 0
         self.coalesced = 0
         self.full_stalls = 0
@@ -57,19 +61,26 @@ class MSHRFile:
             self.full_stalls += 1
             raise RuntimeError(f"{self.name} full")
         self._entries[line] = complete_cycle
+        if complete_cycle < self._next_complete:
+            self._next_complete = complete_cycle
         self.allocations += 1
         return complete_cycle
 
     def retire_ready(self, now: int) -> List[int]:
         """Free and return all lines whose miss completed by cycle ``now``."""
-        done = [line for line, t in self._entries.items() if t <= now]
+        if now < self._next_complete:
+            return []  # called every cycle; usually nothing matures
+        entries = self._entries
+        done = [line for line, t in entries.items() if t <= now]
         for line in done:
-            del self._entries[line]
+            del entries[line]
+        self._next_complete = min(entries.values(), default=_NEVER)
         return done
 
     def reset(self) -> None:
         """Drop all outstanding entries and statistics."""
         self._entries.clear()
+        self._next_complete = _NEVER
         self.allocations = 0
         self.coalesced = 0
         self.full_stalls = 0

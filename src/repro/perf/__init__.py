@@ -1,0 +1,24 @@
+"""Performance engineering toolkit (DESIGN.md §10).
+
+Deterministic wall-clock benchmarks of the detailed simulator, the trace
+generator, and the trace cache (:mod:`repro.perf.bench`), plus a per-stage
+cycle-accounting profiler (:mod:`repro.perf.profiler`).  Exposed through
+``repro bench`` on the CLI; CI runs the quick variant against the
+committed ``BENCH_PR4.json`` baseline.
+"""
+
+from repro.perf.bench import (
+    PRE_PR_BASELINE,
+    BenchReport,
+    compare_to_baseline,
+    run_benchmarks,
+)
+from repro.perf.profiler import StageProfiler
+
+__all__ = [
+    "PRE_PR_BASELINE",
+    "BenchReport",
+    "compare_to_baseline",
+    "run_benchmarks",
+    "StageProfiler",
+]

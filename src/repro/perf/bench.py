@@ -1,0 +1,322 @@
+"""Deterministic wall-clock benchmark runner (``repro bench``).
+
+Every benchmark is a fixed seeded workload, so simulated work is identical
+across runs and machines; only wall-clock varies.  Reported rates are
+simulated-cycles/s and committed-instructions/s, best-of-N to shave
+scheduler noise.  The report carries machine and git metadata so a
+committed ``BENCH_PR4.json`` is interpretable later, plus the pre-PR
+seed-commit rates (:data:`PRE_PR_BASELINE`, measured on the same reference
+machine) so the speedup of the fast-path engine stays visible.
+
+CI regression gate: :func:`compare_to_baseline` flags any benchmark whose
+rate fell more than ``band`` (default 40%, generous because CI machines
+differ) below the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Rates measured at the seed commit (pre-PR-4 engine) on the reference
+#: machine, same workloads as the ``detailed_*`` benchmarks below.  The
+#: ``speedup_vs_pre_pr`` figures in the report are relative to these.
+PRE_PR_BASELINE: Dict[str, Dict[str, float]] = {
+    "detailed_icount_mix07": {
+        "wall_s": 0.571, "cycles_per_s": 14357.0, "instr_per_s": 28848.0,
+    },
+    "detailed_adts_mix05": {
+        "wall_s": 0.589, "cycles_per_s": 13911.0, "instr_per_s": 26950.0,
+    },
+}
+
+
+@dataclass
+class BenchReport:
+    """One ``repro bench`` invocation's results plus provenance."""
+
+    quick: bool
+    seed: int
+    machine: Dict[str, object]
+    git: Dict[str, str]
+    benchmarks: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (what ``BENCH_PR4.json`` holds)."""
+        return {
+            "quick": self.quick,
+            "seed": self.seed,
+            "machine": self.machine,
+            "git": self.git,
+            "pre_pr_baseline": PRE_PR_BASELINE,
+            "benchmarks": self.benchmarks,
+        }
+
+
+def _machine_metadata() -> Dict[str, object]:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def _git_metadata() -> Dict[str, str]:
+    meta = {}
+    for key, cmd in (
+        ("commit", ["git", "rev-parse", "HEAD"]),
+        ("branch", ["git", "rev-parse", "--abbrev-ref", "HEAD"]),
+    ):
+        try:
+            meta[key] = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=10, check=True,
+            ).stdout.strip()
+        except Exception:
+            meta[key] = "unknown"
+    return meta
+
+
+def _best_of(fn: Callable[[], Tuple[int, int]], repeats: int) -> Tuple[float, int, int]:
+    """Run ``fn`` ``repeats`` times; return (best wall, cycles, instrs).
+
+    ``fn`` must rebuild its workload each call, so every repeat simulates
+    the identical cycle count — the minimum wall time is then the cleanest
+    estimate of the engine's speed.
+    """
+    best = None
+    cycles = instrs = 0
+    for _ in range(max(1, repeats)):
+        t0 = perf_counter()
+        cycles, instrs = fn()
+        dt = perf_counter() - t0
+        if best is None or dt < best:
+            best = dt
+    return best, cycles, instrs
+
+
+def _rate_entry(wall_s: float, cycles: int, instrs: int) -> Dict[str, object]:
+    return {
+        "wall_s": round(wall_s, 4),
+        "sim_cycles": cycles,
+        "instructions": instrs,
+        "cycles_per_s": round(cycles / wall_s, 1) if wall_s else 0.0,
+        "instr_per_s": round(instrs / wall_s, 1) if wall_s else 0.0,
+        "ipc": round(instrs / cycles, 4) if cycles else 0.0,
+    }
+
+
+def _detailed_fixed(seed: int, quanta: int) -> Tuple[int, int]:
+    from repro import build_processor
+
+    proc = build_processor(mix="mix07", seed=seed, policy="icount",
+                           quantum_cycles=1024)
+    proc.run_quanta(quanta)
+    return proc.now, proc.stats.committed
+
+
+def _detailed_adts(seed: int, quanta: int) -> Tuple[int, int]:
+    from repro import build_processor
+    from repro.core.adts import ADTSController
+    from repro.core.thresholds import ThresholdConfig
+
+    hook = ADTSController(heuristic="type3",
+                          thresholds=ThresholdConfig(ipc_threshold=2.0))
+    proc = build_processor(mix="mix05", seed=seed, policy="icount", hook=hook,
+                           quantum_cycles=1024)
+    proc.run_quanta(quanta)
+    return proc.now, proc.stats.committed
+
+
+def _bench_tracegen(seed: int, count: int) -> Dict[str, object]:
+    from repro.workloads.tracegen import make_generators
+
+    gens = make_generators(["gzip", "crafty", "swim", "mcf"], seed=seed)
+    per_gen = count // len(gens)
+    t0 = perf_counter()
+    for gen in gens:
+        for _ in range(per_gen):
+            gen.next_instruction()
+    wall = perf_counter() - t0
+    total = per_gen * len(gens)
+    return {
+        "wall_s": round(wall, 4),
+        "instructions": total,
+        "instr_per_s": round(total / wall, 1) if wall else 0.0,
+    }
+
+
+def _bench_trace_cache(seed: int, quanta: int,
+                       cache_dir: Optional[str]) -> Dict[str, object]:
+    """Cold (record) vs warm (replay) detailed run through the trace cache.
+
+    Verifies bit-identity (cold and warm fingerprints must match) and
+    reports the cache's own counters so hits are observable in the JSON.
+    """
+    from repro import build_processor
+    from repro.workloads.tracecache import (
+        active_trace_cache,
+        flush_trace_cache,
+        set_trace_cache,
+    )
+
+    previous = active_trace_cache()
+    tmp = None
+    if cache_dir is None:
+        tmp = tempfile.mkdtemp(prefix="repro-bench-tc-")
+        cache_dir = tmp
+    try:
+        cache = set_trace_cache(cache_dir)
+
+        def one_run():
+            proc = build_processor(mix="mix07", seed=seed, policy="icount",
+                                   quantum_cycles=1024)
+            t0 = perf_counter()
+            proc.run_quanta(quanta)
+            return perf_counter() - t0, proc.fingerprint()
+
+        cold_s, cold_fp = one_run()
+        flush_trace_cache()
+        warm_s, warm_fp = one_run()
+        flush_trace_cache()
+        return {
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "warm_speedup": round(cold_s / warm_s, 3) if warm_s else 0.0,
+            "bit_identical": cold_fp == warm_fp,
+            "cache": dict(cache.stats),
+        }
+    finally:
+        set_trace_cache(previous)
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+def run_benchmarks(quick: bool = False, seed: int = 0,
+                   trace_cache_dir: Optional[str] = None) -> BenchReport:
+    """Run the benchmark suite and return a :class:`BenchReport`.
+
+    ``quick`` halves the simulated quanta and repeats — the CI smoke
+    variant; rates (cycles/s, instr/s) stay comparable to a full run.
+    """
+    quanta = 4 if quick else 8
+    repeats = 2 if quick else 3
+    report = BenchReport(
+        quick=quick, seed=seed,
+        machine=_machine_metadata(), git=_git_metadata(),
+    )
+
+    for name, fn in (
+        ("detailed_icount_mix07", lambda: _detailed_fixed(seed, quanta)),
+        ("detailed_adts_mix05", lambda: _detailed_adts(seed, quanta)),
+    ):
+        wall, cycles, instrs = _best_of(fn, repeats)
+        entry = _rate_entry(wall, cycles, instrs)
+        pre = PRE_PR_BASELINE.get(name)
+        if pre:
+            entry["speedup_vs_pre_pr"] = round(
+                entry["cycles_per_s"] / pre["cycles_per_s"], 3)
+        report.benchmarks[name] = entry
+
+    # The engine's full fast path — hot loop plus trace-cache replay — on
+    # the headline workload.  Replay is bit-identical to live generation
+    # (checked by the trace_cache benchmark below and the golden tests).
+    from repro.workloads.tracecache import (
+        active_trace_cache,
+        flush_trace_cache,
+        set_trace_cache,
+    )
+
+    previous = active_trace_cache()
+    tmp = None
+    warm_dir = trace_cache_dir
+    if warm_dir is None:
+        tmp = tempfile.mkdtemp(prefix="repro-bench-warm-")
+        warm_dir = tmp
+    try:
+        set_trace_cache(warm_dir)
+        _detailed_fixed(seed, quanta)  # recording pass: warm the cache
+        flush_trace_cache()
+        wall, cycles, instrs = _best_of(
+            lambda: _detailed_fixed(seed, quanta), repeats)
+        flush_trace_cache()
+        entry = _rate_entry(wall, cycles, instrs)
+        pre = PRE_PR_BASELINE["detailed_icount_mix07"]
+        entry["speedup_vs_pre_pr"] = round(
+            entry["cycles_per_s"] / pre["cycles_per_s"], 3)
+        entry["trace_cache"] = "warm"
+        report.benchmarks["detailed_icount_mix07_warm"] = entry
+    finally:
+        set_trace_cache(previous)
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    report.benchmarks["tracegen"] = _bench_tracegen(
+        seed, 20_000 if quick else 100_000)
+    report.benchmarks["trace_cache"] = _bench_trace_cache(
+        seed, quanta, trace_cache_dir)
+    return report
+
+
+def compare_to_baseline(report: BenchReport, baseline_path: str,
+                        band: float = 0.40) -> List[str]:
+    """Regression check against a committed benchmark JSON.
+
+    Returns human-readable failure strings for every benchmark whose rate
+    dropped more than ``band`` below the baseline; empty list means pass.
+    Only rate metrics are compared (wall seconds differ per machine but a
+    >40% rate drop on the same workload signals a real slowdown).
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures = []
+    for name, entry in report.benchmarks.items():
+        base = baseline.get("benchmarks", {}).get(name)
+        if not base:
+            continue
+        for metric in ("cycles_per_s", "instr_per_s"):
+            new, old = entry.get(metric), base.get(metric)
+            if not new or not old:
+                continue
+            floor = old * (1.0 - band)
+            if new < floor:
+                failures.append(
+                    f"{name}.{metric}: {new:.0f} < {floor:.0f} "
+                    f"(baseline {old:.0f}, band {band:.0%})"
+                )
+    tc = report.benchmarks.get("trace_cache")
+    if tc is not None and not tc.get("bit_identical", True):
+        failures.append("trace_cache: cold/warm fingerprints diverged")
+    return failures
+
+
+def format_report(report: BenchReport) -> str:
+    """Terminal rendering of a report."""
+    lines = [f"repro bench ({'quick' if report.quick else 'full'}), "
+             f"commit {report.git.get('commit', '?')[:12]}"]
+    for name, entry in report.benchmarks.items():
+        if "cycles_per_s" in entry:
+            speed = entry.get("speedup_vs_pre_pr")
+            suffix = f"  ({speed:.2f}x vs pre-PR)" if speed else ""
+            lines.append(
+                f"  {name:<24} {entry['wall_s']:>7.3f}s  "
+                f"{entry['cycles_per_s']:>9.0f} cyc/s  "
+                f"{entry['instr_per_s']:>9.0f} instr/s{suffix}")
+        elif "warm_speedup" in entry:
+            lines.append(
+                f"  {name:<24} cold {entry['cold_s']:.3f}s -> warm "
+                f"{entry['warm_s']:.3f}s ({entry['warm_speedup']:.2f}x, "
+                f"bit_identical={entry['bit_identical']}, "
+                f"hits={entry['cache']['hits']})")
+        else:
+            lines.append(
+                f"  {name:<24} {entry['wall_s']:>7.3f}s  "
+                f"{entry['instr_per_s']:>9.0f} instr/s")
+    return "\n".join(lines)

@@ -4,6 +4,8 @@ get fetch slots first, maximizing raw throughput at some fairness cost."""
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 from repro.policies.base import FetchPolicy
 from repro.smt.counters import CounterBank
 
@@ -14,3 +16,10 @@ class AccIPCPolicy(FetchPolicy):
     def key(self, tid: int, counters: CounterBank) -> float:
         # Higher accumulated IPC => lower key => fetched first.
         return -counters[tid].accumulated_ipc
+
+    def keys(self, candidates: Sequence[int], counters: CounterBank) -> List[float]:
+        th = counters.threads
+        return [
+            -(tc.total_committed / tc.active_cycles) if tc.active_cycles else -0.0
+            for tc in (th[t] for t in candidates)
+        ]

@@ -30,6 +30,17 @@ class FetchPolicy(abc.ABC):
     def key(self, tid: int, counters: CounterBank) -> float:
         """Priority key for thread ``tid`` (lower fetches first)."""
 
+    def keys(self, candidates: Sequence[int], counters: CounterBank) -> List[float]:
+        """Priority keys for every candidate, in candidate order.
+
+        ``rank()`` calls this once per cycle instead of invoking
+        :meth:`key` through a sort-key closure per comparison; concrete
+        policies override it with a single list comprehension over the
+        counter bank so the per-cycle ranking cost is one bulk read of the
+        live counters rather than repeated per-thread method dispatch.
+        """
+        return [self.key(t, counters) for t in candidates]
+
     def rank(self, candidates: Sequence[int], counters: CounterBank) -> List[int]:
         """Candidates sorted best-first.
 
@@ -38,9 +49,15 @@ class FetchPolicy(abc.ABC):
         (matches the round-robin tie-break in SimpleSMT).
         """
         n = len(counters)
-        self._rotation = (self._rotation + 1) % max(1, n)
-        rot = self._rotation
-        return sorted(candidates, key=lambda t: (self.key(t, counters), (t + rot) % n))
+        self._rotation = rot = (self._rotation + 1) % max(1, n)
+        if len(candidates) <= 1:
+            return list(candidates)
+        # Decorated sort: tie-break offsets are distinct per tid, so the
+        # (key, tie, tid) tuples order exactly as sorting by (key, tie).
+        decorated = sorted(
+            zip(self.keys(candidates, counters), ((t + rot) % n for t in candidates), candidates)
+        )
+        return [t for _k, _tie, t in decorated]
 
     def on_quantum_boundary(self) -> None:
         """Hook for policies with per-quantum state (default: none)."""

@@ -9,6 +9,8 @@ mispredictions starving the other four threads).
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 from repro.policies.base import FetchPolicy
 from repro.smt.counters import CounterBank
 
@@ -18,3 +20,7 @@ class BRCountPolicy(FetchPolicy):
 
     def key(self, tid: int, counters: CounterBank) -> float:
         return counters[tid].in_flight_branches
+
+    def keys(self, candidates: Sequence[int], counters: CounterBank) -> List[float]:
+        th = counters.threads
+        return [th[t].in_flight_branches for t in candidates]

@@ -8,6 +8,8 @@ baseline *and* the default/fallback state of every ADTS heuristic.
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 from repro.policies.base import FetchPolicy
 from repro.smt.counters import CounterBank
 
@@ -17,3 +19,7 @@ class ICountPolicy(FetchPolicy):
 
     def key(self, tid: int, counters: CounterBank) -> float:
         return counters[tid].icount
+
+    def keys(self, candidates: Sequence[int], counters: CounterBank) -> List[float]:
+        th = counters.threads
+        return [th[t].front_end + th[t].iq_int + th[t].iq_fp for t in candidates]

@@ -13,6 +13,8 @@ would provide.
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 from repro.policies.base import FetchPolicy
 from repro.smt.counters import CounterBank
 
@@ -23,12 +25,20 @@ class L1DMissCountPolicy(FetchPolicy):
     def key(self, tid: int, counters: CounterBank) -> float:
         return counters[tid].outstanding_l1d_misses
 
+    def keys(self, candidates: Sequence[int], counters: CounterBank) -> List[float]:
+        th = counters.threads
+        return [th[t].outstanding_l1d_misses for t in candidates]
+
 
 class L1IMissCountPolicy(FetchPolicy):
     name = "l1imisscount"
 
     def key(self, tid: int, counters: CounterBank) -> float:
         return counters[tid].recent_l1i_misses
+
+    def keys(self, candidates: Sequence[int], counters: CounterBank) -> List[float]:
+        th = counters.threads
+        return [th[t].recent_l1i_misses for t in candidates]
 
 
 class L1MissCountPolicy(FetchPolicy):
@@ -37,3 +47,9 @@ class L1MissCountPolicy(FetchPolicy):
     def key(self, tid: int, counters: CounterBank) -> float:
         c = counters[tid]
         return c.outstanding_l1d_misses + c.recent_l1i_misses
+
+    def keys(self, candidates: Sequence[int], counters: CounterBank) -> List[float]:
+        th = counters.threads
+        return [
+            th[t].outstanding_l1d_misses + th[t].recent_l1i_misses for t in candidates
+        ]

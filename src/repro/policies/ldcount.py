@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 from repro.policies.base import FetchPolicy
 from repro.smt.counters import CounterBank
 
@@ -11,3 +13,7 @@ class LDCountPolicy(FetchPolicy):
 
     def key(self, tid: int, counters: CounterBank) -> float:
         return counters[tid].in_flight_loads
+
+    def keys(self, candidates: Sequence[int], counters: CounterBank) -> List[float]:
+        th = counters.threads
+        return [th[t].in_flight_loads for t in candidates]

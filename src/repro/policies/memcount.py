@@ -3,6 +3,8 @@
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 from repro.policies.base import FetchPolicy
 from repro.smt.counters import CounterBank
 
@@ -12,3 +14,7 @@ class MemCountPolicy(FetchPolicy):
 
     def key(self, tid: int, counters: CounterBank) -> float:
         return counters[tid].in_flight_mem
+
+    def keys(self, candidates: Sequence[int], counters: CounterBank) -> List[float]:
+        th = counters.threads
+        return [th[t].in_flight_mem for t in candidates]

@@ -3,6 +3,8 @@
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 from repro.policies.base import FetchPolicy
 from repro.smt.counters import CounterBank
 
@@ -12,3 +14,7 @@ class StallCountPolicy(FetchPolicy):
 
     def key(self, tid: int, counters: CounterBank) -> float:
         return counters[tid].recent_stalls
+
+    def keys(self, candidates: Sequence[int], counters: CounterBank) -> List[float]:
+        th = counters.threads
+        return [th[t].recent_stalls for t in candidates]

@@ -8,7 +8,7 @@ buffer, and completion tracking for dependence resolution.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Set
+from typing import Deque, Dict, List, Optional, Set
 
 from repro.smt.instruction import Instruction
 
@@ -26,6 +26,7 @@ class ThreadContext:
         "rob",
         "done_upto",
         "done_set",
+        "waiters",
         "fetchable",
         "suspended",
         "syscall_waiting",
@@ -50,6 +51,11 @@ class ThreadContext:
         self.done_upto = -1
         #: completed seqs beyond done_upto (sparse out-of-order completions).
         self.done_set: Set[int] = set()
+        #: wake-up lists: producer seq -> IQ entries waiting on it.  The
+        #: dispatch stage registers not-ready entries; ``mark_completed``
+        #: wakes them (re-checking the *other* operand), so the issue scan
+        #: tests one flag instead of re-deriving readiness every cycle.
+        self.waiters: Dict[int, List[Instruction]] = {}
         #: thread-control flag written by the detector thread: may fetch.
         self.fetchable = True
         #: thread-control flag: marked for suspension by the job scheduler.
@@ -73,7 +79,8 @@ class ThreadContext:
 
     # -- dependence tracking --------------------------------------------------
     def mark_completed(self, seq: int) -> None:
-        """Record that instruction ``seq`` finished execution."""
+        """Record that instruction ``seq`` finished execution and wake any
+        IQ entries whose last outstanding producer this was."""
         if seq < 0:
             return
         if seq == self.done_upto + 1:
@@ -84,6 +91,19 @@ class ThreadContext:
                 done.remove(self.done_upto)
         elif seq > self.done_upto:
             self.done_set.add(seq)
+        waiters = self.waiters
+        if waiters:
+            woken = waiters.pop(seq, None)
+            if woken:
+                done_upto = self.done_upto
+                done = self.done_set
+                for instr in woken:
+                    d1 = instr.dep1
+                    d2 = instr.dep2
+                    if (d1 <= done_upto or d1 in done) and (
+                        d2 <= done_upto or d2 in done
+                    ):
+                        instr.iq_ready = True
 
     def dep_satisfied(self, dep: int) -> bool:
         """Is the producer with sequence number ``dep`` complete?"""

@@ -183,6 +183,8 @@ class QuantumSnapshot:
 class CounterBank:
     """The counters of all hardware contexts, plus aggregates."""
 
+    __slots__ = ("threads",)
+
     def __init__(self, num_threads: int) -> None:
         self.threads: List[ThreadCounters] = [ThreadCounters(t) for t in range(num_threads)]
 
@@ -199,6 +201,18 @@ class CounterBank:
         """Per-cycle decay of every thread's windowed signals."""
         for t in self.threads:
             t.decay(factor)
+
+    def tick_all(self, factor: float = 0.99) -> None:
+        """Per-cycle decay plus active-cycle accounting, fused into one
+        pass over the bank (the two updates are independent per thread).
+        Multiplying an exactly-zero signal is skipped: ``0.0 * f == 0.0``
+        bit-for-bit, and most signals sit at zero most of the time."""
+        for t in self.threads:
+            if t.recent_l1i_misses != 0.0:
+                t.recent_l1i_misses *= factor
+            if t.recent_stalls != 0.0:
+                t.recent_stalls *= factor
+            t.active_cycles += 1
 
     def end_quantum(self) -> List[QuantumSnapshot]:
         """Snapshot and clear every thread's quantum counters."""

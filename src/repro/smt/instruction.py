@@ -73,6 +73,9 @@ class Instruction:
         squashed: on the wrong path of a mispredicted branch.
         mispredicted: branch whose prediction was wrong (set at fetch).
         complete_cycle: cycle at which execution completes, else -1.
+        iq_ready: all producers complete (wake-up flag, maintained by the
+            dispatch stage and producer completions — real schedulers wake
+            consumers instead of polling, and so does the issue scan).
     """
 
     __slots__ = (
@@ -92,6 +95,7 @@ class Instruction:
         "mispredicted",
         "complete_cycle",
         "wp_ready",
+        "iq_ready",
     )
 
     def __init__(
@@ -125,6 +129,7 @@ class Instruction:
         # Wrong-path instructions (seq == -1) emulate operand waits with an
         # earliest-issue cycle instead of real dependences.
         self.wp_ready = 0
+        self.iq_ready = True
 
     # -- classification helpers (used outside the hot loop) ---------------
     @property

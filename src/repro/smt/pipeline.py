@@ -27,8 +27,10 @@ phenomenon BRCOUNT-style policies (and hence ADTS) exist to manage.
 
 from __future__ import annotations
 
+import gc
 import random
 from collections import deque
+from math import log as _log
 from typing import Deque, Dict, List, Optional, Sequence
 
 from repro.branch.bimodal import BimodalPredictor
@@ -43,6 +45,8 @@ from repro.smt.counters import CounterBank
 from repro.smt.execute import CompletionHeap, FunctionalUnitPool
 from repro.smt.instruction import (
     BRANCH,
+    FADD,
+    FDIV,
     IALU,
     LOAD,
     STORE,
@@ -60,6 +64,12 @@ _LOC_EXEC = 2
 _LOC_DONE = 3
 
 _LINE_SHIFT = 6  # 64-byte fetch blocks
+
+#: Span of the wrong-path pollution-address window (per thread).
+_WP_ADDR_SPAN = 4 << 20
+
+#: Sentinel for "no pending event" cycle trackers.
+_NEVER = 1 << 62
 
 
 class SchedulerHook:
@@ -95,6 +105,7 @@ class SMTProcessor:
         quantum_cycles: int = 8192,
         seed: int = 0,
         tracer=None,
+        idle_skip: bool = True,
     ) -> None:
         if len(traces) > config.num_threads:
             raise ValueError(
@@ -158,6 +169,26 @@ class SMTProcessor:
         self._wp_rng = random.Random(0x5EED ^ seed)
         #: optional PipelineTracer observing instruction lifecycles.
         self.tracer = tracer
+        # Hot-loop caches of frozen-config fields: the per-cycle stage walk
+        # reads these thousands of times per simulated millisecond and the
+        # dataclass attribute path is pure overhead there.
+        self._fetch_width = config.fetch_width
+        self._fetch_threads_per_cycle = config.fetch_threads_per_cycle
+        self._fetch_buffer_entries = config.fetch_buffer_entries
+        self._rename_width = config.rename_width
+        self._rob_entries = config.rob_entries_per_thread
+        self._issue_width = config.issue_width
+        self._commit_width = config.commit_width
+        self._misfetch_penalty = config.misfetch_penalty
+        self._quantum_end_cycle = quantum_cycles
+        #: earliest cycle in _pending_miss_clear (or _NEVER when empty).
+        self._next_miss_clear = _NEVER
+        #: the installed hook never overrides on_cycle: the per-cycle
+        #: callback can be elided and idle stretches fast-forwarded.
+        self._hook_inert = type(self.hook).on_cycle is SchedulerHook.on_cycle
+        #: enable fast-forwarding across cycles where every stage is provably
+        #: a no-op (see _try_idle_skip); bit-identical to stepping.
+        self._idle_skip = idle_skip
 
     # ------------------------------------------------------------------
     # Public API
@@ -225,9 +256,35 @@ class SMTProcessor:
         return self.policy.name
 
     def run(self, cycles: int) -> SimStats:
-        """Advance the machine ``cycles`` cycles; returns the stats object."""
-        for _ in range(cycles):
-            self.step()
+        """Advance the machine ``cycles`` cycles; returns the stats object.
+
+        When idle-cycle skipping is enabled (and the scheduler hook is the
+        inert default), stretches of cycles where every stage is provably a
+        no-op are fast-forwarded instead of stepped — the resulting machine
+        state is bit-identical to per-cycle stepping. ``step()`` itself
+        always advances exactly one cycle.
+        """
+        target = self.now + cycles
+        step = self.step
+        # The cycle loop allocates almost nothing cyclic (a few hundred
+        # collectable objects per process), but CPython's generational GC
+        # still walks the heap on its schedule — pausing it for the loop is
+        # a measurable win with no retention risk at this allocation rate.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if self._idle_skip and self._hook_inert:
+                skip = self._try_idle_skip
+                while self.now < target:
+                    skip(self.now, target - 1)
+                    step()
+            else:
+                while self.now < target:
+                    step()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         return self.stats
 
     def run_quanta(self, quanta: int) -> SimStats:
@@ -287,10 +344,14 @@ class SMTProcessor:
         ctx.syscall_waiting = False
         ctx.suspended = False
         ctx.done_set.clear()
+        ctx.waiters.clear()  # squashed entries must not be woken by new seqs
         tc.outstanding_l1d_misses = 0
         self._pending_miss_clear = [
             (cycle, t) for cycle, t in self._pending_miss_clear if t != tid
         ]
+        self._next_miss_clear = min(
+            (cycle for cycle, _t in self._pending_miss_clear), default=_NEVER
+        )
         tc.recent_l1i_misses = 0.0
         tc.recent_stalls = 0.0
         # 4. Bind the incoming thread. Its pre-swap instructions count as
@@ -308,41 +369,174 @@ class SMTProcessor:
         now = self.now
         self._commit(now)
         self._complete(now)
-        self._drain_miss_gauges(now)
-        self._syscall_drain_check(now)
+        # Guard the rare stages inline: the calls themselves are pure
+        # per-cycle overhead when their early-exit condition holds.
+        if self._next_miss_clear <= now:
+            self._drain_miss_gauges(now)
+        if self._drain_tid is not None:
+            self._syscall_drain_check(now)
         self._issue(now)
         self._dispatch(now)
         idle = self._fetch(now)
-        consumed = self.hook.on_cycle(now, idle)
-        if consumed < 0 or consumed > idle:
-            # A misbehaving hook must not corrupt the slot accounting the
-            # utilization analyses are built on: clamp to the physical range.
-            consumed = min(max(consumed, 0), idle)
-        self.stats.idle_fetch_slots += idle - consumed
-        self.stats.detector_slots_consumed += consumed
-        self.hierarchy.tick(now)
-        counters = self.counters
-        counters.decay_all()
-        for t in counters:
-            t.active_cycles += 1
+        stats = self.stats
+        if self._hook_inert:
+            # The default hook consumes nothing; skip the call entirely.
+            stats.idle_fetch_slots += idle
+        else:
+            consumed = self.hook.on_cycle(now, idle)
+            if consumed < 0 or consumed > idle:
+                # A misbehaving hook must not corrupt the slot accounting the
+                # utilization analyses are built on: clamp to the physical range.
+                consumed = min(max(consumed, 0), idle)
+            stats.idle_fetch_slots += idle - consumed
+            stats.detector_slots_consumed += consumed
+        hierarchy = self.hierarchy
+        if hierarchy.mshr._next_complete <= now:
+            hierarchy.tick(now)
+        self.counters.tick_all()
         self.now = now + 1
-        self.stats.cycles = self.now
-        if self.now - self._quantum_start_cycle >= self.quantum_cycles:
+        stats.cycles = self.now
+        if self.now >= self._quantum_end_cycle:
             self._end_quantum()
+
+    # -- idle-cycle fast-forward --------------------------------------------
+    def _try_idle_skip(self, now: int, cap: int) -> None:
+        """Fast-forward across cycles in which every pipeline stage is a
+        provable no-op, producing bit-identical state to stepping them.
+
+        A cycle is skippable when nothing can commit (no completed/squashed
+        ROB heads), nothing completes (completion heap empty or in the
+        future), no miss gauge matures, no syscall is draining, nothing can
+        issue (no ready IQ entry), nothing can dispatch (no matured
+        front-queue head), and no context may fetch. The only per-cycle
+        state changes in such a cycle are the counter decay/stall signals,
+        the commit rotation, idle-slot accounting, and the MSHR retirement
+        sweep — all of which this method applies in closed form EXCEPT the
+        floating-point decay, which is applied by looping so the float
+        results match per-cycle stepping bit for bit.
+
+        ``cap`` bounds the wake-up cycle (run()'s target minus one); the
+        quantum boundary additionally caps it so boundary cycles always
+        execute as real steps. Never called unless the hook is inert.
+        """
+        if self._drain_tid is not None:
+            return
+        boundary_last = self._quantum_end_cycle - 1
+        if cap > boundary_last:
+            cap = boundary_last
+        if cap <= now:
+            return
+        wake = cap
+        nc = self.completions.next_cycle()
+        if nc is not None:
+            if nc <= now:
+                return
+            if nc < wake:
+                wake = nc
+        if self._pending_miss_clear:
+            nm = self._next_miss_clear
+            if nm <= now:
+                return
+            if nm < wake:
+                wake = nm
+        contexts = self.contexts
+        for ctx in contexts:
+            rob = ctx.rob
+            if rob:
+                head = rob[0]
+                if head.completed or head.squashed:
+                    return  # commit (or cleanup) work this cycle
+        for fq in self.front_q:
+            if fq:
+                rc = fq[0][1]
+                if rc <= now:
+                    return  # dispatch work (or a dispatch-stall signal)
+                if rc < wake:
+                    wake = rc
+        if self._fetch_buffer_entries > self._front_total:
+            for ctx in contexts:
+                if ctx.fetchable and not ctx.suspended and not ctx.syscall_waiting:
+                    frc = ctx.fetch_ready_cycle
+                    if frc <= now:
+                        return  # a context can fetch this cycle
+                    if frc < wake:
+                        wake = frc
+        # IQ scan: a ready live entry issues this cycle; a waiting junk
+        # entry wakes by timer; waiting real entries wake via completions
+        # (already bounded above) but accrue per-cycle stall signal.
+        waiting = [0] * self.num_threads
+        for iq in (self.iq_int, self.iq_fp):
+            for instr in iq:
+                if instr.squashed or instr.issued:
+                    continue
+                if instr.seq != -1:
+                    if instr.iq_ready:
+                        return  # ready: would issue this cycle
+                    waiting[instr.tid] += 1
+                else:
+                    wr = instr.wp_ready
+                    if wr <= now:
+                        return
+                    if wr < wake:
+                        wake = wr
+        k = wake - now
+        if k <= 0:
+            return
+        # Apply k no-op cycles' worth of state evolution.
+        threads = self.counters.threads
+        for tc in threads:
+            w = waiting[tc.tid]
+            rs = tc.recent_stalls
+            rl = tc.recent_l1i_misses
+            if w:
+                # Each skipped cycle: one +0.1 per waiting IQ entry, then
+                # the end-of-cycle decay. Looped, not closed-form, so the
+                # float trajectory is identical to stepping.
+                for _ in range(k):
+                    for _ in range(w):
+                        rs += 0.1
+                    rs *= 0.99
+                tc.recent_stalls = rs
+            elif rs != 0.0:
+                for _ in range(k):
+                    rs *= 0.99
+                tc.recent_stalls = rs
+            if rl != 0.0:
+                for _ in range(k):
+                    rl *= 0.99
+                tc.recent_l1i_misses = rl
+            tc.active_cycles += k
+        self._commit_rotation = (self._commit_rotation + k) % self.num_threads
+        stats = self.stats
+        stats.idle_fetch_slots += self._fetch_width * k
+        stats.idle_skipped_cycles += k
+        stats.idle_skips += 1
+        # MSHR retirement only deletes matured entries; one sweep at the
+        # last skipped cycle equals k per-cycle sweeps.
+        self.hierarchy.tick(wake - 1)
+        self.now = wake
+        stats.cycles = wake
 
     # -- commit -----------------------------------------------------------
     def _commit(self, now: int) -> None:
-        budget = self.config.commit_width
+        budget = self._commit_width
         n = self.num_threads
-        self._commit_rotation = (self._commit_rotation + 1) % n
+        self._commit_rotation = rotation = (self._commit_rotation + 1) % n
         stats = self.stats
+        contexts = self.contexts
+        threads = self.counters.threads
+        regs = self.regs
+        lsq = self.lsq
+        tracer = self.tracer
+        per_thread = stats.per_thread_committed
         for i in range(n):
             if budget <= 0:
                 break
-            tid = (self._commit_rotation + i) % n
-            ctx = self.contexts[tid]
-            rob = ctx.rob
-            tc = self.counters[tid]
+            tid = (rotation + i) % n
+            rob = contexts[tid].rob
+            if not rob:
+                continue
+            tc = threads[tid]
             while budget > 0 and rob:
                 head = rob[0]
                 if head.squashed:
@@ -354,13 +548,15 @@ class SMTProcessor:
                 rob.popleft()
                 budget -= 1
                 tc.rob -= 1
-                if self.tracer:
-                    self.tracer.record(now, "commit", head)
+                if tracer:
+                    tracer.record(now, "commit", head)
                 kind = head.kind
-                if needs_register(kind):
-                    self.regs.release(tid)
+                # needs_register(kind): opcodes are ordered so every
+                # destination-writing class sorts below STORE.
+                if kind < STORE:
+                    regs.release(tid)
                 if kind == LOAD or kind == STORE:
-                    self.lsq.release(tid)
+                    lsq.release(tid)
                     tc.lsq -= 1
                     tc.in_flight_mem -= 1
                     if kind == LOAD:
@@ -368,24 +564,30 @@ class SMTProcessor:
                 tc.q_committed += 1
                 tc.total_committed += 1
                 stats.committed += 1
-                stats.per_thread_committed[tid] = stats.per_thread_committed.get(tid, 0) + 1
+                per_thread[tid] = per_thread.get(tid, 0) + 1
                 if kind == SYSCALL:
                     self._finish_syscall(tid)
 
     # -- completion ---------------------------------------------------------
     def _complete(self, now: int) -> None:
-        for instr in self.completions.pop_ready(now):
+        completions = self.completions
+        nc = completions.next_cycle()
+        if nc is None or nc > now:
+            return  # nothing matures this cycle: skip the pop machinery
+        contexts = self.contexts
+        threads = self.counters.threads
+        tracer = self.tracer
+        for instr in completions.pop_ready(now):
             if instr.squashed:
                 continue
             instr.completed = True
-            if self.tracer:
-                self.tracer.record(now, "complete", instr)
+            if tracer:
+                tracer.record(now, "complete", instr)
             tid = instr.tid
-            ctx = self.contexts[tid]
-            tc = self.counters[tid]
+            ctx = contexts[tid]
             ctx.mark_completed(instr.seq)
             if instr.kind == BRANCH and instr.cond:
-                tc.in_flight_branches -= 1
+                threads[tid].in_flight_branches -= 1
                 if instr.mispredicted and ctx.wp_branch_seq == instr.seq:
                     self._squash_wrong_path(tid, now)
 
@@ -432,7 +634,7 @@ class SMTProcessor:
                 tc.in_flight_branches -= 1
         ctx.wrong_path = False
         ctx.wp_branch_seq = -1
-        ctx.block_fetch_until(now + self.config.misfetch_penalty)
+        ctx.block_fetch_until(now + self._misfetch_penalty)
 
     # -- syscall drain ----------------------------------------------------------
     def _syscall_drain_check(self, now: int) -> None:
@@ -467,55 +669,72 @@ class SMTProcessor:
 
     # -- issue -------------------------------------------------------------
     def _issue(self, now: int) -> None:
-        fus = self.fus
-        fus.new_cycle()
-        budget = self.config.issue_width
-        budget = self._issue_queue(self.iq_int, budget, now)
+        self.fus.new_cycle()
+        budget = self._issue_queue(self.iq_int, self._issue_width, now)
         if budget > 0:
             self._issue_queue(self.iq_fp, budget, now)
 
     def _issue_queue(self, iq: InstructionQueue, budget: int, now: int) -> int:
-        if budget <= 0 or not len(iq):
+        entries = iq._entries  # hot loop: skip the __iter__/__len__ layer
+        if budget <= 0 or not entries:
             return budget
-        contexts = self.contexts
-        counters = self.counters
-        fus = self.fus
+        threads = self.counters.threads
+        try_claim = self.fus.try_claim
         latencies = self._latencies
-        survivors: List[Instruction] = []
-        append = survivors.append
-        for instr in iq:
+        store_latency = latencies[STORE]
+        schedule = self.completions.schedule
+        hierarchy = self.hierarchy
+        tracer = self.tracer
+        is_int_q = iq is self.iq_int
+        # Copy-on-first-removal: scans that issue nothing (all entries
+        # waiting, or budget exhausted) leave the entry list untouched
+        # instead of rebuilding it every cycle.
+        survivors: Optional[List[Instruction]] = None
+        append = None
+        for idx, instr in enumerate(entries):
             if instr.squashed or instr.issued:
+                if survivors is None:
+                    survivors = entries[:idx]
+                    append = survivors.append
                 continue  # lazy removal
             if budget <= 0:
-                append(instr)
+                if append is not None:
+                    append(instr)
                 continue
             tid = instr.tid
             if instr.seq != -1:
-                if not contexts[tid].is_ready(instr):
-                    tc = counters[tid]
-                    tc.recent_stalls += 0.1  # waiting in IQ: mild stall signal
-                    append(instr)
+                # Wake-up flag (hottest check in the scan): set at dispatch,
+                # flipped by producer completions in mark_completed.
+                if not instr.iq_ready:
+                    threads[tid].recent_stalls += 0.1  # waiting in IQ: mild stall signal
+                    if append is not None:
+                        append(instr)
                     continue
             elif now < instr.wp_ready:
                 # Wrong-path junk waiting on its phantom operands.
-                append(instr)
+                if append is not None:
+                    append(instr)
                 continue
             kind = instr.kind
-            if not fus.try_claim(kind):
-                append(instr)
+            if not try_claim(kind):
+                if append is not None:
+                    append(instr)
                 continue
             # Issue it.
+            if survivors is None:
+                survivors = entries[:idx]
+                append = survivors.append
             budget -= 1
             instr.issued = True
-            if self.tracer:
-                self.tracer.record(now, "issue", instr)
-            tc = counters[tid]
-            if iq is self.iq_int:
+            if tracer:
+                tracer.record(now, "issue", instr)
+            tc = threads[tid]
+            if is_int_q:
                 tc.iq_int -= 1
             else:
                 tc.iq_fp -= 1
             if kind == LOAD:
-                result = self.hierarchy.load(instr.addr, now)
+                result = hierarchy.load(instr.addr, now)
                 if result.mshr_stall:
                     # Cannot allocate a miss entry: retry next cycle.
                     instr.issued = False
@@ -532,46 +751,63 @@ class SMTProcessor:
                     if result.l2_miss:
                         tc.q_l2_misses += 1
                     # Remember to decrement the outstanding-miss gauge.
-                    self._pending_miss_clear.append((now + latency, tid))
-                self.completions.schedule(instr, now + latency)
+                    fill_cycle = now + latency
+                    self._pending_miss_clear.append((fill_cycle, tid))
+                    if fill_cycle < self._next_miss_clear:
+                        self._next_miss_clear = fill_cycle
+                schedule(instr, now + latency)
             elif kind == STORE:
-                result = self.hierarchy.store(instr.addr, now)
+                result = hierarchy.store(instr.addr, now)
                 if result.l1_miss:
                     tc.q_l1d_misses += 1
                     if result.l2_miss:
                         tc.q_l2_misses += 1
                 # Stores complete quickly; the LSQ holds them until commit.
-                self.completions.schedule(instr, now + latencies[STORE])
+                schedule(instr, now + store_latency)
             else:
-                self.completions.schedule(instr, now + latencies.get(kind, 1))
-        iq.set_entries(survivors)
+                schedule(instr, now + latencies.get(kind, 1))
+        if survivors is not None:
+            iq.set_entries(survivors)
         return budget
 
     # -- dispatch -----------------------------------------------------------
     def _dispatch(self, now: int) -> None:
         if self._drain_tid is not None:
             return  # syscall draining: hold everything in the front end
-        budget = self.config.rename_width
+        budget = self._rename_width
         n = self.num_threads
         start = self._commit_rotation  # reuse rotation for fairness
+        front_q = self.front_q
+        contexts = self.contexts
+        threads = self.counters.threads
+        dispatch_thread = self._dispatch_thread
         for i in range(n):
             if budget <= 0:
                 break
             tid = (start + i) % n
-            budget = self._dispatch_thread(tid, budget, now)
+            q = front_q[tid]
+            # Peek head readiness here: a not-ready head is the common case
+            # and the per-thread dispatch prologue is all wasted work then
+            # (the loop would break on its first test, side-effect free).
+            if q and q[0][1] <= now:
+                budget = dispatch_thread(
+                    tid, contexts[tid], threads[tid], q, budget, now
+                )
 
-    def _dispatch_thread(self, tid: int, budget: int, now: int) -> int:
-        ctx = self.contexts[tid]
+    def _dispatch_thread(self, tid: int, ctx, tc, fq, budget: int,
+                         now: int) -> int:
         if ctx.syscall_waiting:
             return budget
-        fq = self.front_q[tid]
-        tc = self.counters[tid]
-        cfg = self.config
+        rob = ctx.rob
+        rob_limit = self._rob_entries
+        regs = self.regs
+        lsq = self.lsq
+        tracer = self.tracer
         while budget > 0 and fq:
             instr, ready_cycle = fq[0]
             if ready_cycle > now:
                 break
-            if len(ctx.rob) >= cfg.rob_entries_per_thread:
+            if len(rob) >= rob_limit:
                 tc.recent_stalls += 1.0
                 tc.q_stall_cycles += 1
                 break
@@ -582,36 +818,54 @@ class SMTProcessor:
                 fq.popleft()
                 tc.front_end -= 1
                 self._front_total -= 1
-                ctx.rob.append(instr)
+                rob.append(instr)
                 tc.rob += 1
                 ctx.syscall_waiting = True
                 self._drain_tid = tid
                 budget -= 1
                 break
-            needs_reg = needs_register(kind)
-            if needs_reg and not self.regs.allocate(tid):
-                # Shared rename pool exhausted: dispatch stalls machine-wide
-                # pressure the paper's clogging analysis calls out.
-                tc.q_reg_full += 1
-                tc.recent_stalls += 1.0
-                tc.q_stall_cycles += 1
-                break
+            # Resource claims below are RenameRegisterPool.allocate /
+            # LoadStoreQueue.allocate / InstructionQueue.full spelled out
+            # inline (same counters, same order) — this loop runs for every
+            # dispatch attempt and the call overhead dominated the stage.
+            needs_reg = kind < STORE  # == needs_register(kind)
+            if needs_reg:
+                if regs._free <= 0:
+                    # Shared rename pool exhausted: dispatch stalls —
+                    # machine-wide pressure the paper's clogging analysis
+                    # calls out.
+                    regs.alloc_failures += 1
+                    tc.q_reg_full += 1
+                    tc.recent_stalls += 1.0
+                    tc.q_stall_cycles += 1
+                    break
+                regs._free -= 1
+                regs._per_thread[tid] += 1
             is_mem = kind == LOAD or kind == STORE
-            if is_mem and not self.lsq.allocate(tid):
-                if needs_reg:
-                    self.regs.release(tid)
-                tc.q_lsq_full += 1
-                tc.recent_stalls += 1.0
-                tc.q_stall_cycles += 1
-                break
-            iq = self.iq_fp if instr.is_fp else self.iq_int
-            if iq.full:
+            if is_mem:
+                if lsq._total >= lsq.capacity:
+                    lsq.full_events += 1
+                    if needs_reg:
+                        regs._per_thread[tid] -= 1
+                        regs._free += 1
+                    tc.q_lsq_full += 1
+                    tc.recent_stalls += 1.0
+                    tc.q_stall_cycles += 1
+                    break
+                lsq._per_thread[tid] += 1
+                lsq._total += 1
+            is_fp = FADD <= kind <= FDIV  # == instr.is_fp
+            iq = self.iq_fp if is_fp else self.iq_int
+            # len-vs-capacity inline (== iq.full, minus the property call).
+            if len(iq._entries) >= iq.capacity:
                 iq.compact()
-            if iq.full:
+            if len(iq._entries) >= iq.capacity:
                 if is_mem:
-                    self.lsq.release(tid)
+                    lsq._per_thread[tid] -= 1
+                    lsq._total -= 1
                 if needs_reg:
-                    self.regs.release(tid)
+                    regs._per_thread[tid] -= 1
+                    regs._free += 1
                 tc.q_iq_full += 1
                 tc.recent_stalls += 1.0
                 tc.q_stall_cycles += 1
@@ -620,14 +874,32 @@ class SMTProcessor:
             fq.popleft()
             tc.front_end -= 1
             self._front_total -= 1
-            if self.tracer:
-                self.tracer.record(now, "dispatch", instr)
-            iq.insert(instr)
-            if instr.is_fp:
+            if tracer:
+                tracer.record(now, "dispatch", instr)
+            iq._entries.append(instr)  # == iq.insert; capacity checked above
+            if instr.seq != -1:
+                # Wake-up registration: evaluate readiness once, here; the
+                # issue scan then tests the flag and producer completions
+                # (ThreadContext.mark_completed) flip it — no per-cycle
+                # re-derivation.  Junk (seq == -1) uses wp_ready instead.
+                du = ctx.done_upto
+                ds = ctx.done_set
+                d1 = instr.dep1
+                d2 = instr.dep2
+                w1 = d1 > du and d1 not in ds
+                w2 = d2 > du and d2 not in ds
+                if w1 or w2:
+                    instr.iq_ready = False
+                    waiters = ctx.waiters
+                    if w1:
+                        waiters.setdefault(d1, []).append(instr)
+                    if w2 and d2 != d1:
+                        waiters.setdefault(d2, []).append(instr)
+            if is_fp:
                 tc.iq_fp += 1
             else:
                 tc.iq_int += 1
-            ctx.rob.append(instr)
+            rob.append(instr)
             tc.rob += 1
             if is_mem:
                 tc.lsq += 1
@@ -639,19 +911,27 @@ class SMTProcessor:
 
     # -- fetch --------------------------------------------------------------
     def _fetch(self, now: int) -> int:
-        cfg = self.config
-        fuel = cfg.fetch_width
-        threads_used = 0
-        free = cfg.fetch_buffer_entries - self._front_total
+        fuel = self._fetch_width
+        free = self._fetch_buffer_entries - self._front_total
         if free <= 0 or self._drain_tid is not None:
             return fuel
-        candidates = [ctx.tid for ctx in self.contexts if ctx.can_fetch(now)]
+        # Inlined ThreadContext.can_fetch over the context list.
+        candidates = [
+            ctx.tid
+            for ctx in self.contexts
+            if ctx.fetchable
+            and not ctx.suspended
+            and not ctx.syscall_waiting
+            and now >= ctx.fetch_ready_cycle
+        ]
         if candidates:
-            ranked = self.policy.rank(candidates, self.counters)
-            for tid in ranked:
-                if fuel <= 0 or free <= 0 or threads_used >= cfg.fetch_threads_per_cycle:
+            threads_used = 0
+            max_threads = self._fetch_threads_per_cycle
+            fetch_thread = self._fetch_thread
+            for tid in self.policy.rank(candidates, self.counters):
+                if fuel <= 0 or free <= 0 or threads_used >= max_threads:
                     break
-                got = self._fetch_thread(tid, min(fuel, free), now)
+                got = fetch_thread(tid, fuel if fuel < free else free, now)
                 # An attempt consumes the thread slot even when the I-cache
                 # misses (the port was occupied by the probe) — this is
                 # what makes single-thread-per-cycle fetch fragile.
@@ -663,9 +943,11 @@ class SMTProcessor:
 
     def _fetch_thread(self, tid: int, fuel: int, now: int) -> int:
         ctx = self.contexts[tid]
-        tc = self.counters[tid]
+        tc = self.counters.threads[tid]
         stats = self.stats
         fq = self.front_q[tid]
+        fq_append = fq.append
+        tracer = self.tracer
         ready_at = now + self._front_latency
         if ctx.wrong_path:
             # Wrong-path fetch: the hardware cannot tell these from real
@@ -673,13 +955,25 @@ class SMTProcessor:
             # the real mix: it waits on (phantom) operands in the IQ, loads
             # pollute the caches, and branches inflate the unresolved-
             # branch counts that BRCOUNT keys on.
-            count = min(fuel, self.config.fetch_width)
-            rng = self._wp_rng
+            #
+            # All junk decisions come from one pre-drawn ``random()`` batch:
+            # exactly three uniforms per instruction (kind, address, wait),
+            # so the stream position after N instructions is 3N draws
+            # regardless of the kinds drawn.
+            count = min(fuel, self._fetch_width)
+            rand = self._wp_rng.random
+            draws = [rand() for _ in range(3 * count)]
+            j = 0
+            load_base = (tid << 30) + (32 << 20)
             for _ in range(count):
-                r = rng.random()
+                r = draws[j]
+                u_addr = draws[j + 1]
+                u_wait = draws[j + 2]
+                j += 3
                 if r < 0.25:
-                    addr = (tid << 30) + (32 << 20) + rng.randrange(0, 4 << 20)
-                    junk = Instruction(tid, -1, LOAD, 0, addr=addr)
+                    junk = Instruction(
+                        tid, -1, LOAD, 0, addr=load_base + int(u_addr * _WP_ADDR_SPAN)
+                    )
                     tc.q_loads += 1
                 elif r < 0.40:
                     junk = Instruction(tid, -1, BRANCH, 0, cond=True)
@@ -688,11 +982,11 @@ class SMTProcessor:
                     tc.q_cond_branches += 1
                 else:
                     junk = Instruction(tid, -1, IALU, 0)
-                # Phantom operand wait: geometric, mean ~6 cycles.
-                junk.wp_ready = ready_at + min(40, int(rng.expovariate(1 / 6.0)))
-                if self.tracer:
-                    self.tracer.record(now, "fetch", junk)
-                fq.append((junk, ready_at))
+                # Phantom operand wait: exponential by inversion, mean ~6.
+                junk.wp_ready = ready_at + min(40, int(-6.0 * _log(1.0 - u_wait)))
+                if tracer:
+                    tracer.record(now, "fetch", junk)
+                fq_append((junk, ready_at))
             tc.front_end += count
             self._front_total += count
             tc.q_fetched += count
@@ -702,10 +996,12 @@ class SMTProcessor:
             return count
         count = 0
         current_line = -1
+        next_instruction = ctx.next_instruction
         while count < fuel:
-            instr = ctx.next_instruction()
+            instr = next_instruction()
             line = instr.pc >> _LINE_SHIFT
             if current_line < 0:
+                # First iteration only: one I-cache probe per fetch attempt.
                 result = self.hierarchy.ifetch(instr.pc, now)
                 if result.l1_miss:
                     tc.recent_l1i_misses += 1.0
@@ -714,7 +1010,7 @@ class SMTProcessor:
                         tc.q_l2_misses += 1
                     ctx.push_back(instr)
                     ctx.block_fetch_until(now + result.latency)
-                    return -1 if count == 0 else count
+                    return -1  # count is necessarily 0 here
                 current_line = line
             elif line != current_line:
                 # Cache-block boundary: this thread is done for the cycle.
@@ -725,25 +1021,28 @@ class SMTProcessor:
             # address space, which differs from the context when the job
             # scheduler has remapped jobs (core/jobsched.py).
             instr.tid = tid
-            if self.tracer:
-                self.tracer.record(now, "fetch", instr)
-            fq.append((instr, ready_at))
+            if tracer:
+                tracer.record(now, "fetch", instr)
+            fq_append((instr, ready_at))
             count += 1
-            tc.front_end += 1
-            self._front_total += 1
-            tc.q_fetched += 1
-            tc.total_fetched += 1
-            stats.fetched += 1
-            if instr.kind == BRANCH:
-                stop = self._fetch_branch(ctx, tc, instr, now)
-                if stop:
+            kind = instr.kind
+            if kind == BRANCH:
+                if self._fetch_branch(ctx, tc, instr, now):
                     break
-            elif instr.kind == LOAD:
+            elif kind == LOAD:
                 tc.q_loads += 1
-            elif instr.kind == STORE:
+            elif kind == STORE:
                 tc.q_stores += 1
-            elif instr.kind == SYSCALL:
+            elif kind == SYSCALL:
                 break  # fetch no further until the syscall retires
+        if count:
+            # Per-fetch-group counter updates, applied in bulk: nothing in
+            # the loop (including _fetch_branch) reads these fields.
+            tc.front_end += count
+            self._front_total += count
+            tc.q_fetched += count
+            tc.total_fetched += count
+            stats.fetched += count
         return count
 
     def _fetch_branch(self, ctx: ThreadContext, tc, instr: Instruction, now: int) -> bool:
@@ -767,7 +1066,7 @@ class SMTProcessor:
         predicted_target = self.btb.lookup(instr.pc)
         if predicted_target != instr.target:
             self.btb.update(instr.pc, instr.target)
-            ctx.block_fetch_until(now + self.config.misfetch_penalty)
+            ctx.block_fetch_until(now + self._misfetch_penalty)
         return True
 
     # -- quantum ------------------------------------------------------------
@@ -787,17 +1086,23 @@ class SMTProcessor:
         self.hook.on_quantum_end(self.now, record, snapshots)
         self._quantum_index += 1
         self._quantum_start_cycle = self.now
+        self._quantum_end_cycle = self.now + self.quantum_cycles
         self._quantum_committed_base = self.stats.committed
 
     def _drain_miss_gauges(self, now: int) -> None:
         """Clear outstanding-L1D-miss gauges whose fills have arrived."""
         lst = self._pending_miss_clear
-        if not lst:
+        if not lst or now < self._next_miss_clear:
             return
+        threads = self.counters.threads
         keep = []
+        nxt = _NEVER
         for cycle, tid in lst:
             if cycle <= now:
-                self.counters[tid].outstanding_l1d_misses -= 1
+                threads[tid].outstanding_l1d_misses -= 1
             else:
                 keep.append((cycle, tid))
+                if cycle < nxt:
+                    nxt = cycle
         self._pending_miss_clear = keep
+        self._next_miss_clear = nxt

@@ -16,6 +16,8 @@ from repro.smt.instruction import Instruction
 class InstructionQueue:
     """A shared issue queue: bounded, dispatch-ordered, lazily compacted."""
 
+    __slots__ = ("capacity", "name", "_entries")
+
     def __init__(self, capacity: int, name: str) -> None:
         if capacity <= 0:
             raise ValueError("IQ capacity must be positive")
@@ -65,6 +67,8 @@ class LoadStoreQueue:
     pressure*: LSQ-full events per cycle feed the COND_MEM heuristic
     condition directly (threshold 0.45/cycle, paper §4.3.2).
     """
+
+    __slots__ = ("capacity", "_per_thread", "_total", "full_events")
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:

@@ -5,9 +5,17 @@ The trace generators draw several random numbers per instruction; calling
 amortizes by drawing NumPy batches and serving them from a cursor — the
 standard vectorize-the-hot-loop idiom from the hpc-parallel guides, applied
 to RNG.
+
+Draws are served as plain Python floats: a ``np.float64`` scalar escaping
+into the per-instruction arithmetic makes every downstream ``+``/``*``/``<``
+dispatch through NumPy's scalar machinery (an order of magnitude slower
+than float ops). ``ndarray.tolist()`` converts the batch once, preserving
+every bit of each double.
 """
 
 from __future__ import annotations
+
+from math import log1p as _log1p
 
 import numpy as np
 
@@ -15,22 +23,31 @@ import numpy as np
 class RandPool:
     """Serves scalar uniforms/geometrics from pre-drawn NumPy batches."""
 
+    __slots__ = ("rng", "batch", "_buf", "_uniform", "_ucursor",
+                 "_geo_mean", "_geo_denom")
+
     def __init__(self, rng: np.random.Generator, batch: int = 8192) -> None:
         if batch <= 0:
             raise ValueError("batch must be positive")
         self.rng = rng
         self.batch = batch
-        self._uniform = rng.random(batch)
+        self._buf = rng.random(batch)
+        self._uniform = self._buf.tolist()
         self._ucursor = 0
+        # Memoized log1p(-1/mean) for geometric(): callers cycle through a
+        # handful of means (one per phase), so the last one usually repeats.
+        self._geo_mean = 0.0
+        self._geo_denom = 1.0
 
     def uniform(self) -> float:
         """One U[0,1) draw."""
-        if self._ucursor >= self.batch:
-            self.rng.random(out=self._uniform)
-            self._ucursor = 0
-        value = self._uniform[self._ucursor]
-        self._ucursor += 1
-        return value
+        cursor = self._ucursor
+        if cursor >= self.batch:
+            self.rng.random(out=self._buf)
+            self._uniform = self._buf.tolist()
+            cursor = 0
+        self._ucursor = cursor + 1
+        return self._uniform[cursor]
 
     def geometric(self, mean: float) -> int:
         """Geometric draw with the given mean, support {1, 2, ...}.
@@ -39,11 +56,13 @@ class RandPool:
         """
         if mean <= 1.0:
             return 1
-        # P(success) for a geometric with mean `mean` starting at 1.
-        p = 1.0 / mean
+        # Inversion: ceil(log(1-u) / log(1-p)) with p = 1/mean.  The
+        # denominator depends only on `mean`, so memoize it.
+        if mean != self._geo_mean:
+            self._geo_mean = mean
+            self._geo_denom = _log1p(-1.0 / mean)
         u = self.uniform()
-        # Inversion: ceil(log(1-u) / log(1-p)).
-        return max(1, int(np.log1p(-u) / np.log1p(-p)) + 1)
+        return max(1, int(_log1p(-u) / self._geo_denom) + 1)
 
     def integer(self, upper: int) -> int:
         """Uniform integer in [0, upper)."""

@@ -16,6 +16,7 @@ gcc and perlbmk.
 
 from __future__ import annotations
 
+from math import log as _log
 from typing import Dict, Tuple
 
 import numpy as np
@@ -75,7 +76,7 @@ class ControlFlowGenerator:
         if site is None:
             # Exponential distribution of per-site noise, clipped to [0, .5];
             # mean equals the profile's target misprediction rate.
-            noise = min(0.5, -self.profile.mispredict_target * np.log(max(1e-12, 1.0 - self.pool.uniform())))
+            noise = min(0.5, -self.profile.mispredict_target * _log(max(1e-12, 1.0 - self.pool.uniform())))
             majority_taken = self.pool.bernoulli(0.6)  # branches skew taken
             is_cond = self.pool.bernoulli(self.profile.cond_branch_frac)
             site = (noise, majority_taken, is_cond)

@@ -1,0 +1,272 @@
+"""Persistent on-disk trace cache.
+
+Trace generation is pull-based and seeded, so the instruction stream of a
+thread is a pure function of ``(profile, seed, slot, name, generator
+version)``.  Grid sweeps re-derive the same streams for every cell that
+shares a mix and seed; this module memoizes them on disk so the second and
+later runs replay recorded columns instead of re-running the generator
+stack (RNG pools, Markov phases, branch sites, address walks).
+
+Design points:
+
+* **Key** — sha256 over ``(TRACEGEN_VERSION, seed, slot, name,
+  repr(profile))``.  The requested instruction count is *not* part of the
+  key: streams are prefix-closed, so one file serves any run that needs a
+  prefix and is extended in place when a run needs more.
+* **Replay is bit-identical** — recorded columns are converted back to
+  plain Python ints/bools, so replayed :class:`Instruction` objects are
+  field-for-field equal to freshly generated ones and
+  ``SMTProcessor.fingerprint()`` is unchanged (covered by
+  ``tests/test_fingerprint_golden.py``).
+* **Overrun fallback** — when a run consumes past the recorded prefix the
+  wrapper rebuilds the seeded generator, discards the recorded prefix, and
+  serves (and records) live from there.  Correct by construction, costs one
+  regeneration; the next flush extends the file so the cache converges on
+  the longest prefix any run has needed.
+* **Atomic, shareable files** — writes go to a temp file in the cache
+  directory followed by ``os.replace``, so concurrent sweep workers never
+  observe a torn file and last-writer-wins is safe (both writers hold the
+  same stream).
+
+Activation: :func:`set_trace_cache` (used by the CLI) or the
+``REPRO_TRACE_CACHE`` environment variable naming a directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.smt.instruction import Instruction
+
+log = logging.getLogger("repro.tracecache")
+
+_COLUMNS = ("kind", "pc", "dep1", "dep2", "addr", "cond", "taken", "target")
+_DTYPES = ("i1", "i8", "i8", "i8", "i8", "i1", "i1", "i8")
+
+
+def _build_generator(profile, slot: int, name: str, seed: int):
+    """Rebuild the seeded generator for one (mix slot, app) pair.
+
+    Module-level (not a closure) so :class:`CachedTrace` stays picklable —
+    checkpointing snapshots the whole processor, traces included.
+    """
+    from repro.util.seeds import SeedSequencer
+    from repro.workloads.tracegen import TraceGenerator
+
+    rng = SeedSequencer(seed).generator("trace", slot, name)
+    return TraceGenerator(profile, slot, rng)
+
+
+class CachedTrace:
+    """Drop-in stand-in for ``TraceGenerator`` backed by recorded columns.
+
+    Serves the recorded prefix from plain Python lists; past the prefix it
+    falls back to a freshly rebuilt generator and keeps recording.  Exposes
+    the ``seq``/``profile``/``tid`` surface the pipeline and fingerprint
+    read.
+    """
+
+    def __init__(self, cache: "TraceCache", profile, slot: int, name: str,
+                 seed: int, cols: Optional[List[list]]) -> None:
+        self._cache = cache
+        self.profile = profile
+        self.tid = slot
+        self.name = name
+        self.seed = seed
+        self.seq = 0
+        self._cols: List[list] = cols if cols is not None else [[] for _ in _COLUMNS]
+        self._n = len(self._cols[0])
+        self._stored = self._n
+        #: length of the prefix loaded from disk; emissions below this are
+        #: replays, above it recordings (folded into cache stats at flush).
+        self._loaded = self._n
+        self._rep_folded = 0
+        self._rec_folded = 0
+        self._iter = None  # lazily built zip over the recorded columns
+        self._gen = None
+
+    def __getstate__(self):
+        """Checkpoint support: the replay iterator is rebuilt on demand."""
+        state = self.__dict__.copy()
+        state["_iter"] = None
+        return state
+
+    # -- generation ---------------------------------------------------------
+    def _materialize(self):
+        """Rebuild the seeded generator and discard the recorded prefix."""
+        gen = _build_generator(self.profile, self.tid, self.name, self.seed)
+        if self._n:
+            self._cache.stats["overruns"] += 1
+            log.info(
+                "trace cache overrun for %s slot %d: regenerating past %d recorded instructions",
+                self.name, self.tid, self._n,
+            )
+            for _ in range(self._n):
+                gen.next_instruction()
+        self._gen = gen
+        return gen
+
+    def next_instruction(self) -> Instruction:
+        """Emit the next instruction in program order (replay or record)."""
+        i = self.seq
+        if i < self._n:
+            it = self._iter
+            if it is None:
+                # Replay always advances in lockstep with ``seq``, so one
+                # zip over the column lists (from the current position)
+                # serves the whole prefix without per-field indexing.
+                cols = self._cols
+                it = zip(*(c[i:] for c in cols)) if i else zip(*cols)
+                self._iter = it
+            self.seq = i + 1
+            k, pc, d1, d2, ad, co, tk, tg = next(it)
+            return Instruction(self.tid, i, k, pc, d1, d2, ad, co, tk, tg)
+        gen = self._gen or self._materialize()
+        instr = gen.next_instruction()
+        k, pc, d1, d2, ad, co, tk, tg = self._cols
+        k.append(instr.kind)
+        pc.append(instr.pc)
+        d1.append(instr.dep1)
+        d2.append(instr.dep2)
+        ad.append(instr.addr)
+        co.append(instr.cond)
+        tk.append(instr.taken)
+        tg.append(instr.target)
+        self._n += 1
+        self.seq = i + 1
+        return instr
+
+    def take(self, n: int) -> List[Instruction]:
+        """Emit the next ``n`` instructions (testing/analysis helper)."""
+        return [self.next_instruction() for _ in range(n)]
+
+
+class TraceCache:
+    """Directory of recorded per-thread instruction streams."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._live: List[CachedTrace] = []
+        self.stats: Dict[str, int] = {
+            "hits": 0, "misses": 0, "replayed": 0, "recorded": 0,
+            "overruns": 0, "flushed_files": 0,
+        }
+
+    # -- keying -------------------------------------------------------------
+    def _path_for(self, profile, slot: int, name: str, seed: int) -> Path:
+        from repro.workloads.tracegen import TRACEGEN_VERSION
+
+        key = f"v{TRACEGEN_VERSION}|seed={seed}|slot={slot}|app={name}|{profile!r}"
+        digest = hashlib.sha256(key.encode()).hexdigest()[:16]
+        return self.root / f"{name}-s{slot}-{digest}.npz"
+
+    # -- attach / flush -----------------------------------------------------
+    def attach(self, profile, slot: int, name: str, seed: int) -> CachedTrace:
+        """Return a trace for one mix slot, replaying from disk on a hit."""
+        path = self._path_for(profile, slot, name, seed)
+        cols = None
+        if path.exists():
+            try:
+                with np.load(path) as data:
+                    cols = [data[c].tolist() for c in _COLUMNS]
+                # cond/taken are stored as i1; replayed instructions must
+                # carry the same plain bools live generation produces.
+                cols[5] = [bool(v) for v in cols[5]]
+                cols[6] = [bool(v) for v in cols[6]]
+            except Exception as exc:  # torn/alien file: regenerate
+                log.warning("trace cache: ignoring unreadable %s (%s)", path.name, exc)
+                cols = None
+        if cols is not None:
+            self.stats["hits"] += 1
+            log.info("trace cache hit: %s slot %d (%d instructions)",
+                     name, slot, len(cols[0]))
+        else:
+            self.stats["misses"] += 1
+            log.info("trace cache miss: %s slot %d — recording", name, slot)
+        trace = CachedTrace(self, profile, slot, name, seed, cols)
+        self._live.append(trace)
+        return trace
+
+    def flush(self) -> int:
+        """Persist every live trace that grew past its on-disk prefix.
+
+        Returns the number of files written.  Writes are atomic
+        (temp file + ``os.replace``) so concurrent sweep workers sharing
+        the directory never read a torn archive.
+        """
+        written = 0
+        stats = self.stats
+        for trace in self._live:
+            # Fold replay/record tallies (derived from stream positions so
+            # the per-instruction hot path carries no counter updates).
+            rep = min(trace.seq, trace._loaded)
+            rec = trace._n - trace._loaded
+            stats["replayed"] += rep - trace._rep_folded
+            stats["recorded"] += rec - trace._rec_folded
+            trace._rep_folded = rep
+            trace._rec_folded = rec
+            if trace._n <= trace._stored:
+                continue
+            path = self._path_for(trace.profile, trace.tid, trace.name, trace.seed)
+            arrays = {
+                c: np.asarray(col, dtype=dt)
+                for c, dt, col in zip(_COLUMNS, _DTYPES, trace._cols)
+            }
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez_compressed(fh, **arrays)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            trace._stored = trace._n
+            written += 1
+            log.info("trace cache: wrote %s (%d instructions)", path.name, trace._n)
+        self._live = [t for t in self._live if t._n > t._stored]
+        self.stats["flushed_files"] += written
+        return written
+
+
+# -- module-level activation -----------------------------------------------
+_ACTIVE: Optional[TraceCache] = None
+_ENV_VAR = "REPRO_TRACE_CACHE"
+
+
+def set_trace_cache(target: Union[TraceCache, str, Path, None]) -> Optional[TraceCache]:
+    """Install (or clear, with ``None``) the process-wide trace cache."""
+    global _ACTIVE
+    if target is None:
+        _ACTIVE = None
+    elif isinstance(target, TraceCache):
+        _ACTIVE = target
+    else:
+        _ACTIVE = TraceCache(target)
+    return _ACTIVE
+
+
+def active_trace_cache() -> Optional[TraceCache]:
+    """The installed cache, falling back to ``$REPRO_TRACE_CACHE``."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        root = os.environ.get(_ENV_VAR)
+        if root:
+            _ACTIVE = TraceCache(root)
+    return _ACTIVE
+
+
+def flush_trace_cache() -> int:
+    """Flush the active cache if any; safe no-op otherwise."""
+    cache = _ACTIVE
+    return cache.flush() if cache is not None else 0

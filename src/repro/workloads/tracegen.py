@@ -34,6 +34,10 @@ from repro.workloads.profiles import ApplicationProfile, PhaseProfile
 
 _BASE_PHASE = PhaseProfile()
 
+#: Bump whenever generated streams change (new draw order, new fields…) so
+#: stale on-disk :mod:`~repro.workloads.tracecache` entries self-invalidate.
+TRACEGEN_VERSION = 1
+
 # Calibration constants (see DESIGN.md §2 and EXPERIMENTS.md):
 # the profile tables describe *relative* application behaviour; these
 # globals scale the dependence model so that the 8-thread fixed-ICOUNT
@@ -64,12 +68,15 @@ class TraceGenerator:
         self.seq = 0
         self._block_remaining = self.cfgen.next_block_length()
         self._last_load_seq = -1
+        self._mem_dep = profile.mem_dep_frac * _MEM_DEP_SCALE
         # Phase state.
         self._phases = profile.phases or (_BASE_PHASE,)
         self._weights = np.array([p.weight for p in self._phases], dtype=float)
         self._weights /= self._weights.sum()
         self.phase: PhaseProfile = self._phases[0]
         self._phase_remaining = 0
+        self._load_frac = 0.0
+        self._dep_mean = 1.0
         self._enter_phase(self._pick_phase())
 
     # -- phase machinery ----------------------------------------------------
@@ -89,6 +96,11 @@ class TraceGenerator:
         self._phase_remaining = self.pool.geometric(float(phase.mean_length))
         self.addrgen.set_phase_scale(phase.footprint_scale)
         self.cfgen.set_phase_scale(phase.mispredict_scale)
+        # Rates that depend only on (profile, phase): computed once per
+        # phase entry instead of once per instruction in the hot loop.
+        p = self.profile
+        self._load_frac = min(0.7, p.load_frac * phase.load_scale)
+        self._dep_mean = max(1.0, p.dep_mean * phase.dep_scale * _DEP_MEAN_SCALE)
 
     # -- instruction synthesis ----------------------------------------------
     def _deps(self, seq: int, kind: int, branch_noise: float = 0.0) -> tuple:
@@ -101,26 +113,29 @@ class TraceGenerator:
         makes misprediction storms expensive (long wrong-path windows while
         the branch waits on memory), the §1 phenomenon BRCOUNT addresses.
         """
-        p = self.profile
-        dep_mean = max(1.0, p.dep_mean * self.phase.dep_scale * _DEP_MEAN_SCALE)
+        pool = self.pool
+        uniform = pool.uniform
+        dep_mean = self._dep_mean
         if kind == BRANCH:
             data_dependence = min(1.0, _BRANCH_MEM_DEP_SCALE + 8.0 * branch_noise)
-            mem_dep = p.mem_dep_frac * data_dependence
+            mem_dep = self.profile.mem_dep_frac * data_dependence
         else:
-            mem_dep = p.mem_dep_frac * _MEM_DEP_SCALE
-        if 0 <= self._last_load_seq < seq and self.pool.bernoulli(mem_dep):
-            dep1 = self._last_load_seq
+            mem_dep = self._mem_dep
+        last_load = self._last_load_seq
+        if 0 <= last_load < seq and uniform() < mem_dep:
+            dep1 = last_load
         else:
-            dep1 = seq - self.pool.geometric(dep_mean)
+            dep1 = seq - pool.geometric(dep_mean)
         dep2 = -1
-        if kind not in (LOAD, SYSCALL) and self.pool.bernoulli(_DEP2_PROB):
-            dep2 = seq - self.pool.geometric(dep_mean)
+        if kind != LOAD and kind != SYSCALL and uniform() < _DEP2_PROB:
+            dep2 = seq - pool.geometric(dep_mean)
         return (dep1 if dep1 >= 0 else -1, dep2 if dep2 >= 0 else -1)
 
     def _pick_kind(self) -> int:
         p = self.profile
-        u = self.pool.uniform()
-        load_frac = min(0.7, p.load_frac * self.phase.load_scale)
+        uniform = self.pool.uniform
+        u = uniform()
+        load_frac = self._load_frac
         if u < load_frac:
             return LOAD
         u -= load_frac
@@ -130,14 +145,14 @@ class TraceGenerator:
         if p.syscall_rate and u < p.syscall_rate:
             return SYSCALL
         # Compute op: split int/fp.
-        if self.pool.bernoulli(p.fp_frac):
-            v = self.pool.uniform()
+        if uniform() < p.fp_frac:
+            v = uniform()
             if v < p.fdiv_frac:
                 return FDIV
             if v < p.fdiv_frac + p.fmul_frac:
                 return FMUL
             return FADD
-        return IMUL if self.pool.bernoulli(p.imul_frac) else IALU
+        return IMUL if uniform() < p.imul_frac else IALU
 
     def next_instruction(self) -> Instruction:
         """Emit the next instruction in program order."""
@@ -160,7 +175,7 @@ class TraceGenerator:
         kind = self._pick_kind()
         pc = self.cfgen.advance()
         dep1, dep2 = self._deps(seq, kind)
-        addr = self.addrgen.next_address() if kind in (LOAD, STORE) else 0
+        addr = self.addrgen.next_address() if kind == LOAD or kind == STORE else 0
         instr = Instruction(self.tid, seq, kind, pc, dep1, dep2, addr=addr)
         if kind == LOAD:
             self._last_load_seq = seq
@@ -181,14 +196,23 @@ def make_generators(
     Each thread gets an independent seed substream keyed by (slot, name), so
     two copies of the same program in one mix diverge (as two processes
     with different inputs would) while the whole mix stays reproducible.
+
+    When a :mod:`~repro.workloads.tracecache` is active the returned traces
+    replay recorded streams from disk (bit-identical to live generation)
+    and record anything generated past the cached prefix.
     """
     from repro.workloads.profiles import get_profile
+    from repro.workloads.tracecache import active_trace_cache
 
     table = profiles or {}
+    cache = active_trace_cache()
     seeds = SeedSequencer(seed)
     gens = []
     for slot, name in enumerate(app_names):
         profile = table.get(name) or get_profile(name)
-        rng = seeds.generator("trace", slot, name)
-        gens.append(TraceGenerator(profile, slot, rng))
+        if cache is not None:
+            gens.append(cache.attach(profile, slot, name, seed))
+        else:
+            rng = seeds.generator("trace", slot, name)
+            gens.append(TraceGenerator(profile, slot, rng))
     return gens
