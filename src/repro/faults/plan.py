@@ -26,8 +26,12 @@ from typing import Sequence
 #: ``service`` is likewise service-level (synthetic overload at admission,
 #: forced full-tier failures that push a circuit breaker toward open); it
 #: only has meaning under :class:`~repro.service.SimulationService` and is
-#: also excluded from ``all``.
-FAULT_KINDS = ("counters", "dt", "policy", "hangs", "worker", "service")
+#: also excluded from ``all``. ``disk`` is the filesystem family (torn
+#: writes, ENOSPC, failed renames — injected at the storage layer by
+#: :mod:`repro.storage.faultfs`, not at scheduler boundaries); it never
+#: changes simulation results (artifacts are recovered or regenerated), so
+#: it too is excluded from ``all`` and must be requested by name.
+FAULT_KINDS = ("counters", "dt", "policy", "hangs", "worker", "service", "disk")
 
 #: The families ``--faults all`` (and :meth:`FaultPlan.storm`) enable.
 IN_PROCESS_FAULT_KINDS = ("counters", "dt", "policy", "hangs")
@@ -78,6 +82,19 @@ class FaultPlan:
             supervised pool), pushing the service's circuit breaker toward
             open. Only meaningful under
             :class:`~repro.service.SimulationService`.
+        disk_torn_write_rate: P(per storage write) only a prefix of the
+            data lands before the write fails (power-loss tear).
+        disk_enospc_rate: P(per storage write) the device fills up after
+            ``disk_enospc_after_bytes`` bytes (ENOSPC mid-record).
+        disk_enospc_after_bytes: bytes that land before an injected ENOSPC.
+        disk_rename_fail_rate: P(per atomic rename) the rename fails,
+            leaving only the temp file.
+        disk_bitrot_rate: P(per storage write) one bit is silently flipped
+            before the data lands (caught later by envelope checksums).
+        disk_read_eio_rate: P(per storage read) the read fails with EIO.
+        disk_slow_io_rate: P(per storage operation) the operation stalls
+            for ``disk_slow_io_seconds`` first.
+        disk_slow_io_seconds: wall-clock length of an injected I/O stall.
     """
 
     seed: int = 0
@@ -97,13 +114,21 @@ class FaultPlan:
     worker_hang_seconds: float = 30.0
     service_overload_rate: float = 0.0
     service_breaker_trip_rate: float = 0.0
+    disk_torn_write_rate: float = 0.0
+    disk_enospc_rate: float = 0.0
+    disk_enospc_after_bytes: int = 64
+    disk_rename_fail_rate: float = 0.0
+    disk_bitrot_rate: float = 0.0
+    disk_read_eio_rate: float = 0.0
+    disk_slow_io_rate: float = 0.0
+    disk_slow_io_seconds: float = 0.02
 
     def __post_init__(self) -> None:
         for f in fields(self):
             value = getattr(self, f.name)
             if f.name.endswith("_rate") and not 0.0 <= value <= 1.0:
                 raise ValueError(f"FaultPlan.{f.name}={value!r}: must be in [0, 1]")
-            if f.name.endswith(("_cycles", "_instructions", "_seconds")) and value < 0:
+            if f.name.endswith(("_cycles", "_instructions", "_seconds", "_bytes")) and value < 0:
                 raise ValueError(f"FaultPlan.{f.name}={value!r}: must be >= 0")
 
     @property
@@ -111,6 +136,50 @@ class FaultPlan:
         """True when at least one fault family has a non-zero rate."""
         return any(
             getattr(self, f.name) > 0.0 for f in fields(self) if f.name.endswith("_rate")
+        )
+
+    @property
+    def any_scheduler_enabled(self) -> bool:
+        """True when a *result-affecting* (non-disk) family is live.
+
+        Disk faults only perturb the storage layer — artifacts are
+        recovered or regenerated, never silently wrong — so they neither
+        need a :class:`~repro.faults.FaultInjector` on the scheduler hook
+        chain nor belong in a sweep cell's identity key.
+        """
+        return any(
+            getattr(self, f.name) > 0.0
+            for f in fields(self)
+            if f.name.endswith("_rate") and not f.name.startswith("disk_")
+        )
+
+    @property
+    def any_disk_enabled(self) -> bool:
+        """True when at least one disk fault has a non-zero rate."""
+        return any(
+            getattr(self, f.name) > 0.0
+            for f in fields(self)
+            if f.name.startswith("disk_") and f.name.endswith("_rate")
+        )
+
+    def disk_plan(self):
+        """This plan's disk family as a :class:`~repro.storage.faultfs.
+        DiskFaultPlan` (what :func:`~repro.storage.faultfs.faultfs_session`
+        consumes), or None when no disk fault is enabled."""
+        if not self.any_disk_enabled:
+            return None
+        from repro.storage.faultfs import DiskFaultPlan
+
+        return DiskFaultPlan(
+            seed=self.seed,
+            torn_write_rate=self.disk_torn_write_rate,
+            enospc_rate=self.disk_enospc_rate,
+            enospc_after_bytes=self.disk_enospc_after_bytes,
+            rename_fail_rate=self.disk_rename_fail_rate,
+            bitrot_rate=self.disk_bitrot_rate,
+            read_eio_rate=self.disk_read_eio_rate,
+            slow_io_rate=self.disk_slow_io_rate,
+            slow_io_seconds=self.disk_slow_io_seconds,
         )
 
     def with_seed(self, seed: int) -> "FaultPlan":
@@ -166,6 +235,10 @@ class FaultPlan:
         if "service" in chosen:
             kw["service_overload_rate"] = rate
             kw["service_breaker_trip_rate"] = rate
+        if "disk" in chosen:
+            kw["disk_torn_write_rate"] = rate
+            kw["disk_enospc_rate"] = rate
+            kw["disk_rename_fail_rate"] = rate
         return cls(seed=seed, **kw)
 
     @classmethod

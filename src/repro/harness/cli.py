@@ -12,6 +12,8 @@ Commands map one-to-one onto the experiment index (DESIGN.md §4):
     resilience ADTS under a seeded fault storm vs. clean
     serve      long-running overload-safe simulation service (JSONL stdio)
     burst      seeded overload demo (or --emit JSONL for piping into serve)
+    fsck       audit and repair an artifact tree (journals, checkpoints,
+               trace caches, reports); exits non-zero iff it quarantined
     mixes      list the 13 mixes
     policies   list the Table-1 policies
 
@@ -20,7 +22,11 @@ inject seeded faults; ``grid`` accepts ``--journal PATH`` / ``--resume``
 for crash-resilient checkpoint/resume sweeps and ``--workers N`` to run
 cells in supervised child processes (crash containment, SIGKILL-enforced
 timeouts and heartbeat-staleness limits, bounded restarts) — results are
-identical to the serial sweep for any worker count. A worker-pool ``grid``
+identical to the serial sweep for any worker count. ``grid`` also accepts
+``--faults disk`` to run the sweep under seeded filesystem faults (torn
+writes, mid-record ENOSPC, failed renames): the storage layer recovers or
+regenerates every artifact, so the aggregate is identical to a fault-free
+sweep. A worker-pool ``grid``
 also installs SIGINT/SIGTERM handlers that kill the pool, release the
 journal lock, and exit ``128 + signum`` — Ctrl-C never leaves orphan
 simulator processes or a locked journal behind.
@@ -140,13 +146,19 @@ def _install_pool_signal_handlers(executor, journal) -> None:
 def cmd_grid(args) -> None:
     """`repro grid`: the Figure 7/8 sweep on the detailed engine."""
     defaults = _defaults(args)
+    plan = _fault_plan(args)
     journal = None
     if args.journal:
         journal = RunJournal(args.journal)
         if args.resume:
-            loaded = journal.load()
-            print(f"resuming: {loaded} journaled cell(s) will be skipped",
-                  file=sys.stderr)
+            info = journal.recover()
+            msg = f"resuming: {info['loaded']} journaled cell(s) will be skipped"
+            if info["torn_tail"]:
+                msg += "; torn final line truncated"
+            if info["dropped"]:
+                msg += (f"; {info['dropped']} corrupt line(s) dropped"
+                        f" (original quarantined to {info['quarantined']})")
+            print(msg, file=sys.stderr)
         else:
             journal.clear()
     retry = None
@@ -165,16 +177,32 @@ def cmd_grid(args) -> None:
         ))
         _install_pool_signal_handlers(executor, journal)
     mixes = [m.strip() for m in args.mixes.split(",") if m.strip()] if args.mixes else None
-    grid = run_grid(defaults, quick=not args.full, journal=journal, retry=retry,
-                    executor=executor, mixes=mixes)
-    if executor is not None and executor.failures:
-        print(f"supervisor: {len(executor.failures)} failed attempt(s): " +
-              ", ".join(f"{f['label']}#{f['attempt']}:{f['kind']}"
-                        for f in executor.failures),
-              file=sys.stderr)
-    from repro.harness.runner import run_mix_average
+    # A disk-fault plan installs a parent-process faultfs session too, so the
+    # journal appends and trace-cache flushes that happen *between* cell runs
+    # are exercised — not just the writes inside each simulation.
+    from contextlib import nullcontext
 
-    baseline = run_mix_average(grid.mixes, defaults.base_run())["mean_ipc"]
+    from repro.storage import faultfs_session
+
+    disk = plan.disk_plan() if plan is not None else None
+    session = faultfs_session(disk) if disk is not None else nullcontext()
+    with session as ffs:
+        grid = run_grid(defaults, quick=not args.full, journal=journal, retry=retry,
+                        executor=executor, mixes=mixes, fault_plan=plan)
+        if executor is not None and executor.failures:
+            print(f"supervisor: {len(executor.failures)} failed attempt(s): " +
+                  ", ".join(f"{f['label']}#{f['attempt']}:{f['kind']}"
+                            for f in executor.failures),
+                  file=sys.stderr)
+        from repro.harness.runner import run_mix_average
+
+        baseline = run_mix_average(grid.mixes, defaults.base_run())["mean_ipc"]
+    if ffs is not None:
+        print(f"disk faults injected (parent process): {ffs.faults_injected} "
+              f"{ffs.counts}", file=sys.stderr)
+    if journal is not None and journal.append_errors:
+        print(f"journal: {journal.append_errors} append(s) failed durably; "
+              f"those cells will re-run on a later resume", file=sys.stderr)
     out = experiment_fig8(grid, baseline)
     lines = [f"fixed ICOUNT baseline: {baseline:.3f}"]
     for h in grid.heuristics:
@@ -392,9 +420,9 @@ def cmd_bench(args) -> int:
         payload["stage_profile"] = prof.report()
 
     if args.out:
-        with open(args.out, "w") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        from repro.perf.bench import write_report
+
+        write_report(args.out, payload)
         print(f"wrote {args.out}", file=sys.stderr)
 
     text = format_report(report)
@@ -413,6 +441,26 @@ def cmd_bench(args) -> int:
         print(f"baseline check passed ({args.baseline}, "
               f"band {args.band:.0%})", file=sys.stderr)
     return 0
+
+
+def cmd_fsck(args) -> int:
+    """`repro fsck`: audit and repair an artifact tree.
+
+    Scans ``root`` for journals, checkpoints, trace caches and reports;
+    repairs what is safely repairable (torn journal tails truncated,
+    legacy formats migrated forward, stale atomic-write temps removed)
+    and quarantines unrepairable files to ``*.corrupt``. Exits non-zero
+    iff something was quarantined, so scripts can gate on real damage.
+    ``--dry-run`` classifies without touching disk.
+    """
+    from repro.storage import fsck_tree
+
+    report = fsck_tree(args.root, repair=not args.dry_run)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format_text())
+    return report.exit_code
 
 
 def cmd_mixes(args) -> None:
@@ -484,6 +532,15 @@ def build_parser() -> argparse.ArgumentParser:
                                 "retries resume instead of recomputing")
             p.add_argument("--mixes", default=None, metavar="M1,M2",
                            help="comma list of mixes (overrides quick/full)")
+            p.add_argument("--faults", default=None, metavar="KINDS",
+                           help="inject seeded faults into the sweep: comma "
+                                "list from counters,dt,policy,hangs,worker,"
+                                "disk (or 'all'); 'disk' exercises the "
+                                "storage layer without changing results")
+            p.add_argument("--fault-rate", type=float, default=0.25,
+                           help="per-draw fault probability")
+            p.add_argument("--fault-seed", type=int, default=None,
+                           help="fault-stream seed (default: the run seed)")
         p.add_argument("--full", action="store_true",
                        help="all 13 mixes (slow) instead of the quick set")
         _add_common(p)
@@ -578,6 +635,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", action="store_true", help="emit JSON")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("fsck", help="audit and repair an artifact tree")
+    p.add_argument("root", nargs="?", default=".",
+                   help="directory (or single file) to scan")
+    p.add_argument("--dry-run", action="store_true",
+                   help="classify only; change nothing on disk")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable report")
+    p.set_defaults(func=cmd_fsck)
 
     for name, func in (("mixes", cmd_mixes), ("policies", cmd_policies)):
         p = sub.add_parser(name, help=f"list {name}")

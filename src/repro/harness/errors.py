@@ -13,6 +13,21 @@ from __future__ import annotations
 
 from typing import Optional
 
+# The durable-storage failure taxonomy lives in the dependency-free
+# repro.storage.errors and is re-exported here so harness code sees one
+# unified hierarchy: ENOSPC/EDQUOT -> DiskFullError, EACCES/EPERM ->
+# StoragePermissionError, retry-exhausted I/O -> TransientStorageError,
+# and envelope-level damage -> ArtifactCorruptError/ArtifactVersionError.
+from repro.storage.errors import (  # noqa: F401  (re-exports)
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactVersionError,
+    DiskFullError,
+    StorageError,
+    StoragePermissionError,
+    TransientStorageError,
+)
+
 
 class HarnessError(Exception):
     """Base class for all harness-raised failures."""

@@ -134,10 +134,12 @@ def run_grid(
     retry: Optional[RetryPolicy] = None,
     executor=None,
     mixes: Optional[Sequence[str]] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SweepResult:
     """The shared F7/F8 grid (optionally journaled/guarded/parallel — see
     :func:`~repro.harness.sweep.threshold_type_grid`). ``mixes`` overrides
-    the quick/full mix set (smaller smoke grids)."""
+    the quick/full mix set (smaller smoke grids); ``fault_plan`` applies to
+    every cell (disk-only plans leave the aggregate identical)."""
     return threshold_type_grid(
         defaults.base_run(),
         list(mixes) if mixes is not None else defaults.mixes(quick),
@@ -146,6 +148,7 @@ def run_grid(
         journal=journal,
         retry=retry,
         executor=executor,
+        fault_plan=fault_plan,
     )
 
 

@@ -1,18 +1,29 @@
 """JSONL run journal: checkpoint/resume for long sweeps.
 
 Each completed sweep cell is appended as one JSON line
-``{"key": <canonical-key-string>, "payload": {...}}`` and flushed+fsynced
-immediately, so a killed sweep loses at most the cell that was in flight.
-On resume the journal is loaded and every journaled cell is served from the
+``{"key": <canonical-key-string>, "payload": {...}, "crc": <crc32>}`` in a
+single durable write (:func:`repro.storage.atomic.append_line`), so a
+killed sweep loses at most the cell that was in flight and an ENOSPC
+mid-record is healed by truncation instead of leaving a torn tail. On
+resume the journal is loaded and every journaled cell is served from the
 stored payload instead of being re-simulated; because all simulations are
 seed-deterministic, the resumed aggregate is identical to an uninterrupted
 run.
 
+The per-line ``crc`` covers the canonical JSON of ``[key, payload]``, so
+bitrot inside a record is detected at load time rather than silently
+resumed from. Lines without a ``crc`` (written before this scheme) still
+load; ``repro fsck`` reports such journals as *migratable* and can rewrite
+them checksummed.
+
 A process killed mid-write can leave a truncated final line; that tail is
 silently discarded (its cell simply re-runs). An undecodable line *before*
-the tail means real corruption and raises
+the tail means real corruption: strict :meth:`RunJournal.load` raises
 :class:`~repro.harness.errors.JournalError` rather than quietly dropping
-completed work.
+completed work, while :meth:`RunJournal.recover` (used by sweep resume and
+the service) salvages every intact record, quarantines the damaged
+original to ``*.corrupt``, and rewrites the salvaged lines so the run
+continues minus only the broken cells.
 
 **Single-writer locking.** Two sweeps (or two supervisors) appending to the
 same journal would interleave partial lines and corrupt both runs. The
@@ -37,16 +48,92 @@ fails fast exactly as before.
 from __future__ import annotations
 
 import json
+import logging
 import os
+import zlib
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-from repro.harness.errors import JournalError
+from repro.harness.errors import JournalError, StorageError
+from repro.storage.atomic import append_line, atomic_write_bytes, quarantine
 
 try:
     import fcntl
 except ImportError:  # non-POSIX: locking degrades to no-op
     fcntl = None
+
+log = logging.getLogger("repro.journal")
+
+
+def _entry_crc(key: str, payload: dict) -> int:
+    """Per-line CRC32 over the canonical JSON of ``[key, payload]``.
+
+    ``payload`` must already be JSON-normalized (``record`` round-trips it)
+    so the load-side recompute over the parsed line matches exactly.
+    """
+    blob = json.dumps([key, payload], sort_keys=True, default=str)
+    return zlib.crc32(blob.encode("utf-8"))
+
+
+def _decode_line(line: str) -> tuple:
+    """Decode + checksum-verify one journal line; returns ``(key, payload)``.
+
+    Raises ``ValueError`` on any damage. Lines without a ``"crc"`` field are
+    legacy (pre-checksum) and accepted as-is — fsck reports them migratable.
+    """
+    entry = json.loads(line)
+    key, payload = entry["key"], entry["payload"]
+    if "crc" in entry and entry["crc"] != _entry_crc(key, payload):
+        raise ValueError(f"journal line checksum mismatch (key {key[:40]!r})")
+    return key, payload
+
+
+def scan_journal_lines(lines: list) -> dict:
+    """Classify every line of a JSONL journal (shared with ``repro fsck``).
+
+    Returns ``{"entries": {key: payload}, "good_lines": [verbatim valid
+    lines], "bad_lines": [1-based indices], "torn_tail": bool,
+    "missing_crc": count}``. A sole undecodable *final* line is a torn
+    tail (mid-write kill), not corruption.
+    """
+    entries: Dict[str, dict] = {}
+    good_lines = []
+    bad_lines = []
+    torn_tail = False
+    missing_crc = 0
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            key, payload = _decode_line(line)
+        except (ValueError, KeyError, TypeError):
+            if i == len(lines) - 1:
+                torn_tail = True
+            else:
+                bad_lines.append(i + 1)
+            continue
+        if '"crc"' not in line:
+            missing_crc += 1
+        entries[key] = payload
+        good_lines.append(line)
+    return {
+        "entries": entries,
+        "good_lines": good_lines,
+        "bad_lines": bad_lines,
+        "torn_tail": torn_tail,
+        "missing_crc": missing_crc,
+    }
+
+def _read_lines(path: Path) -> list:
+    """Read a journal's lines, surviving non-UTF-8 bitrot.
+
+    Undecodable bytes become U+FFFD replacement characters, which poison
+    that line's JSON/CRC so it flows into the normal damaged-line handling
+    (torn tail tolerated, interior corruption raised or salvaged) instead
+    of crashing the whole load with ``UnicodeDecodeError``.
+    """
+    return path.read_bytes().decode("utf-8", errors="replace").splitlines()
+
 
 #: Process-wide lock table: resolved lock path -> [file handle, refcount].
 #: flock is per open-file-description, so a second open of the same lock
@@ -76,6 +163,9 @@ class RunJournal:
         self.path = Path(path)
         self._entries: Dict[str, dict] = {}
         self._lock_key: Optional[str] = None
+        #: appends that failed durably (storage error after bounded retries)
+        #: but were kept in memory; the cells re-run on a later resume.
+        self.append_errors = 0
 
     @staticmethod
     def cell_key(**fields: object) -> str:
@@ -92,14 +182,13 @@ class RunJournal:
         self._entries.clear()
         if not self.path.exists():
             return 0
-        lines = self.path.read_text(encoding="utf-8").splitlines()
+        lines = _read_lines(self.path)
         for i, line in enumerate(lines):
             if not line.strip():
                 continue
             try:
-                entry = json.loads(line)
-                key, payload = entry["key"], entry["payload"]
-            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                key, payload = _decode_line(line)
+            except (ValueError, KeyError, TypeError) as exc:
                 if i == len(lines) - 1:
                     break  # truncated tail from a killed run: re-run that cell
                 raise JournalError(
@@ -108,16 +197,85 @@ class RunJournal:
             self._entries[key] = payload
         return len(self._entries)
 
-    def record(self, key: str, payload: dict) -> None:
-        """Durably append one completed cell (acquiring the writer lock)."""
+    def recover(self) -> dict:
+        """Load the journal, salvaging instead of aborting on damage.
+
+        Where :meth:`load` raises :class:`JournalError` on an interior bad
+        line (strict mode for callers that must not mask corruption), this
+        keeps every line that decodes and checksums, heals a torn tail by
+        rewriting the file without it, and quarantines an interior-corrupt
+        original to ``*.corrupt`` before rewriting the salvaged lines —
+        so one damaged record costs one re-run, not the whole sweep.
+
+        Returns an info dict: ``loaded`` (entries kept), ``dropped``
+        (interior lines lost), ``torn_tail``, ``quarantined`` (path or
+        None), ``rewritten``.
+        """
+        self._entries.clear()
+        info = {
+            "loaded": 0,
+            "dropped": 0,
+            "torn_tail": False,
+            "quarantined": None,
+            "rewritten": False,
+        }
+        if not self.path.exists():
+            return info
+        scan = scan_journal_lines(_read_lines(self.path))
+        self._entries.update(scan["entries"])
+        info["loaded"] = len(self._entries)
+        info["torn_tail"] = scan["torn_tail"]
+        info["dropped"] = len(scan["bad_lines"])
+        if not scan["bad_lines"] and not scan["torn_tail"]:
+            return info
         self.acquire_lock()
+        if scan["bad_lines"]:
+            dest = quarantine(self.path)
+            info["quarantined"] = str(dest) if dest else None
+            log.warning(
+                "%s: %d corrupt journal line(s) %s; original quarantined to %s, "
+                "%d salvaged cell(s) kept",
+                self.path,
+                len(scan["bad_lines"]),
+                scan["bad_lines"],
+                dest,
+                info["loaded"],
+            )
+        salvaged = "".join(line + "\n" for line in scan["good_lines"])
+        try:
+            atomic_write_bytes(self.path, salvaged.encode("utf-8"))
+            info["rewritten"] = True
+        except StorageError as exc:
+            log.warning("%s: could not rewrite salvaged journal: %s", self.path, exc)
+        return info
+
+    def record(self, key: str, payload: dict) -> None:
+        """Append one completed cell as a single durable write.
+
+        The payload is JSON-normalized (so the stored per-line CRC matches
+        a load-side recompute bit-for-bit) and the whole line goes down in
+        one ``os.write`` via :func:`repro.storage.atomic.append_line` — an
+        ENOSPC mid-record is truncated away and retried rather than left as
+        a torn tail. A write that still fails after the bounded retries is
+        *logged and absorbed* (``append_errors`` counts it): the journal is
+        an optimization, and losing one record costs one re-run while
+        aborting would cost the sweep.
+        """
+        self.acquire_lock()
+        payload = json.loads(json.dumps(payload, default=str))
         self._entries[key] = payload
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        line = json.dumps({"key": key, "payload": payload}, default=str)
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        line = json.dumps(
+            {"key": key, "payload": payload, "crc": _entry_crc(key, payload)}
+        )
+        try:
+            append_line(self.path, line)
+        except StorageError as exc:
+            self.append_errors += 1
+            log.warning(
+                "%s: journal append failed (%s); cell kept in memory only",
+                self.path,
+                exc,
+            )
 
     def clear(self) -> None:
         """Forget all entries and remove the on-disk file (fresh sweep)."""

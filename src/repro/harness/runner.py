@@ -19,6 +19,8 @@ are stepped on exactly the same cycle boundaries either way.
 
 from __future__ import annotations
 
+import logging
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -27,9 +29,10 @@ from repro import build_processor
 from repro.core.adts import ADTSController, WatchdogConfig
 from repro.core.thresholds import ThresholdConfig
 from repro.faults import FaultInjector, FaultPlan
-from repro.harness.errors import ConfigError
+from repro.harness.errors import ConfigError, StorageError
 from repro.policies.registry import POLICY_NAMES
 from repro.smt.checkpoint import (
+    CheckpointError,
     CheckpointPlan,
     discard_checkpoint,
     load_checkpoint,
@@ -37,9 +40,12 @@ from repro.smt.checkpoint import (
 )
 from repro.smt.config import SMTConfig
 from repro.smt.invariants import InvariantChecker
+from repro.storage.faultfs import faultfs_session
 from repro.workloads.tracecache import flush_trace_cache
 
 ProgressFn = Callable[[int], None]
+
+log = logging.getLogger("repro.runner")
 
 
 @dataclass(frozen=True)
@@ -142,10 +148,20 @@ def _measure(
             if progress is not None:
                 progress(done)
             if checkpoint is not None and done < total and checkpoint.due(done):
-                save_checkpoint(
-                    checkpoint.path, proc, controller, injector,
-                    meta={"run_key": run_key, "fingerprint": proc.fingerprint()},
-                )
+                try:
+                    save_checkpoint(
+                        checkpoint.path, proc, controller, injector,
+                        meta={"run_key": run_key, "fingerprint": proc.fingerprint()},
+                    )
+                except StorageError as exc:
+                    # A checkpoint is an optimization: losing one costs a
+                    # longer retry, aborting would cost the run. A seeded
+                    # disk fault would also recur identically on every
+                    # supervised retry, so the run must outlive it.
+                    log.warning(
+                        "checkpoint write failed at quantum %d (%s); "
+                        "continuing without a snapshot", done, exc,
+                    )
         if checkpoint is not None and not checkpoint.keep_on_success:
             discard_checkpoint(checkpoint.path)
     window = proc.stats.quantum_history[cfg.warmup_quanta : total]
@@ -166,10 +182,30 @@ def _maybe_inject(hook, fault_plan: Optional[FaultPlan]):
 
     Returns ``(hook_to_install, injector_or_None)``.
     """
-    if fault_plan is None or not fault_plan.any_enabled:
+    if fault_plan is None or not fault_plan.any_scheduler_enabled:
+        # Disk-only plans don't touch the hook chain: they are injected at
+        # the storage layer by _maybe_faultfs and never perturb results.
         return hook, None
     injector = FaultInjector(fault_plan, hook)
     return injector, injector
+
+
+@contextmanager
+def _maybe_faultfs(fault_plan: Optional[FaultPlan]):
+    """Scope the plan's disk-fault family around a run's storage I/O.
+
+    No-op (an active outer injector stays active) when the plan carries no
+    disk faults; otherwise a fresh seeded
+    :class:`~repro.storage.faultfs.FaultFS` is installed for the run so
+    every checkpoint/journal/trace-cache write and read inside it goes
+    through the injector.
+    """
+    disk = fault_plan.disk_plan() if fault_plan is not None else None
+    if disk is None:
+        yield None
+        return
+    with faultfs_session(disk) as ffs:
+        yield ffs
 
 
 def _maybe_check(hook, invariants: Optional[str]):
@@ -186,10 +222,20 @@ def _maybe_check(hook, invariants: Optional[str]):
 
 
 def _try_resume(checkpoint: Optional[CheckpointPlan], run_key: str):
-    """Load the plan's snapshot if one exists; None means start fresh."""
+    """Load the plan's snapshot if one exists; None means start fresh.
+
+    A snapshot that fails validation is not fatal: ``load_checkpoint`` has
+    already quarantined the damaged file, and starting from cycle zero is
+    always correct (just slower) — raising here would burn a supervised
+    retry on every attempt against the same bad bytes.
+    """
     if checkpoint is None or not Path(checkpoint.path).exists():
         return None
-    return load_checkpoint(checkpoint.path, expect_meta={"run_key": run_key})
+    try:
+        return load_checkpoint(checkpoint.path, expect_meta={"run_key": run_key})
+    except CheckpointError as exc:
+        log.warning("ignoring unusable checkpoint (%s); starting fresh", exc)
+        return None
 
 
 def run_fixed(
@@ -200,39 +246,43 @@ def run_fixed(
     invariants: Optional[str] = None,
 ) -> RunResult:
     """Run under the fixed fetch policy named in ``cfg.policy``."""
-    run_key = _run_key(cfg, "fixed", cfg.policy, None)
-    snap = _try_resume(checkpoint, run_key)
-    if snap is not None:
-        proc, injector = snap.processor, snap.injector
-        if injector is not None and fault_plan is not None:
-            # An explicit plan overrides the snapshotted one. Zero-rate
-            # families draw nothing from the RNG, so a supervised retry can
-            # strip process-killing faults without desyncing the stream.
-            injector.plan = fault_plan
-    else:
-        hook, injector = _maybe_inject(None, fault_plan)
-        hook, _ = _maybe_check(hook, invariants)
-        proc = build_processor(
-            mix=cfg.mix,
-            num_threads=cfg.num_threads,
-            seed=cfg.seed,
-            config=cfg.machine,
-            policy=cfg.policy,
-            hook=hook,
-            quantum_cycles=cfg.quantum_cycles,
+    with _maybe_faultfs(fault_plan) as ffs:
+        run_key = _run_key(cfg, "fixed", cfg.policy, None)
+        snap = _try_resume(checkpoint, run_key)
+        if snap is not None:
+            proc, injector = snap.processor, snap.injector
+            if injector is not None and fault_plan is not None:
+                # An explicit plan overrides the snapshotted one. Zero-rate
+                # families draw nothing from the RNG, so a supervised retry
+                # can strip process-killing faults without desyncing the
+                # stream.
+                injector.plan = fault_plan
+        else:
+            hook, injector = _maybe_inject(None, fault_plan)
+            hook, _ = _maybe_check(hook, invariants)
+            proc = build_processor(
+                mix=cfg.mix,
+                num_threads=cfg.num_threads,
+                seed=cfg.seed,
+                config=cfg.machine,
+                policy=cfg.policy,
+                hook=hook,
+                quantum_cycles=cfg.quantum_cycles,
+            )
+        checker = proc.hook if isinstance(proc.hook, InvariantChecker) else None
+        result = _measure(
+            proc, cfg, {"mode": "fixed", "policy": cfg.policy},
+            progress=progress, checkpoint=checkpoint,
+            injector=injector, run_key=run_key,
         )
-    checker = proc.hook if isinstance(proc.hook, InvariantChecker) else None
-    result = _measure(
-        proc, cfg, {"mode": "fixed", "policy": cfg.policy},
-        progress=progress, checkpoint=checkpoint,
-        injector=injector, run_key=run_key,
-    )
-    if injector is not None:
-        result.scheduler.update(injector.summary())
-    if checker is not None:
-        result.scheduler.update(checker.summary())
-    flush_trace_cache()
-    return result
+        if injector is not None:
+            result.scheduler.update(injector.summary())
+        if checker is not None:
+            result.scheduler.update(checker.summary())
+        flush_trace_cache()
+        if ffs is not None:
+            result.scheduler.update(ffs.summary())
+        return result
 
 
 def run_adts(
@@ -252,46 +302,50 @@ def run_adts(
     :class:`~repro.faults.FaultInjector` between the pipeline and the
     controller; ``watchdog`` overrides the controller's fallback knobs.
     With a ``checkpoint`` plan whose snapshot file exists, the run resumes
-    from it (the snapshot must carry the same run identity, else
-    :class:`~repro.smt.checkpoint.CheckpointError`) and the heuristic /
-    threshold / fault arguments are taken from the restored state.
+    from it and the heuristic / threshold / fault arguments are taken from
+    the restored state; a snapshot that is damaged or carries a different
+    run identity is quarantined/ignored and the run starts fresh (always
+    correct, merely slower).
     """
     th = thresholds or ThresholdConfig()
-    run_key = _run_key(cfg, "adts", heuristic, th.ipc_threshold)
-    snap = _try_resume(checkpoint, run_key)
-    if snap is not None:
-        proc, controller, injector = snap.processor, snap.controller, snap.injector
-        if injector is not None and fault_plan is not None:
-            injector.plan = fault_plan  # see run_fixed: retry fault stripping
-    else:
-        controller = ADTSController(
-            heuristic=heuristic, thresholds=th, instant_dt=instant_dt,
-            watchdog=watchdog,
+    with _maybe_faultfs(fault_plan) as ffs:
+        run_key = _run_key(cfg, "adts", heuristic, th.ipc_threshold)
+        snap = _try_resume(checkpoint, run_key)
+        if snap is not None:
+            proc, controller, injector = snap.processor, snap.controller, snap.injector
+            if injector is not None and fault_plan is not None:
+                injector.plan = fault_plan  # see run_fixed: retry fault stripping
+        else:
+            controller = ADTSController(
+                heuristic=heuristic, thresholds=th, instant_dt=instant_dt,
+                watchdog=watchdog,
+            )
+            hook, injector = _maybe_inject(controller, fault_plan)
+            hook, _ = _maybe_check(hook, invariants)
+            proc = build_processor(
+                mix=cfg.mix,
+                num_threads=cfg.num_threads,
+                seed=cfg.seed,
+                config=cfg.machine,
+                policy="icount",  # ADTS's initial/default policy (§4.3.3)
+                hook=hook,
+                quantum_cycles=cfg.quantum_cycles,
+            )
+        checker = proc.hook if isinstance(proc.hook, InvariantChecker) else None
+        result = _measure(
+            proc, cfg, {"mode": "adts", "heuristic": heuristic},
+            progress=progress, checkpoint=checkpoint,
+            controller=controller, injector=injector, run_key=run_key,
         )
-        hook, injector = _maybe_inject(controller, fault_plan)
-        hook, _ = _maybe_check(hook, invariants)
-        proc = build_processor(
-            mix=cfg.mix,
-            num_threads=cfg.num_threads,
-            seed=cfg.seed,
-            config=cfg.machine,
-            policy="icount",  # ADTS's initial/default policy (§4.3.3)
-            hook=hook,
-            quantum_cycles=cfg.quantum_cycles,
-        )
-    checker = proc.hook if isinstance(proc.hook, InvariantChecker) else None
-    result = _measure(
-        proc, cfg, {"mode": "adts", "heuristic": heuristic},
-        progress=progress, checkpoint=checkpoint,
-        controller=controller, injector=injector, run_key=run_key,
-    )
-    result.scheduler.update(controller.summary())
-    if injector is not None:
-        result.scheduler.update(injector.summary())
-    if checker is not None:
-        result.scheduler.update(checker.summary())
-    flush_trace_cache()
-    return result
+        result.scheduler.update(controller.summary())
+        if injector is not None:
+            result.scheduler.update(injector.summary())
+        if checker is not None:
+            result.scheduler.update(checker.summary())
+        flush_trace_cache()
+        if ffs is not None:
+            result.scheduler.update(ffs.summary())
+        return result
 
 
 def run_mix_average(

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.thresholds import ThresholdConfig
+from repro.faults import FaultPlan
 from repro.harness.journal import RunJournal
 from repro.harness.resilience import RetryPolicy, guarded_run
 from repro.harness.runner import RunConfig, run_adts
@@ -70,11 +71,21 @@ class SweepResult:
         return min(self.ipc, key=lambda cell: (-self.ipc[cell], cell[0], cell[1]))
 
 
-def _grid_cell_key(base: RunConfig, m: float, h: str, mix: str) -> str:
+def _grid_cell_key(
+    base: RunConfig, m: float, h: str, mix: str,
+    fault_plan: Optional[FaultPlan] = None,
+) -> str:
     """Journal key identifying one grid cell *and* the run parameters that
     determine its result — a resumed sweep with different parameters must
-    not silently reuse stale cells."""
-    return RunJournal.cell_key(
+    not silently reuse stale cells.
+
+    A ``faults`` field is included only when the plan carries
+    *result-affecting* (scheduler) faults: disk faults never change cell
+    payloads (artifacts are recovered or regenerated), so a disk-chaos
+    sweep shares keys — and therefore journals and aggregates — with a
+    fault-free one.
+    """
+    fields = dict(
         kind="grid",
         threshold=m,
         heuristic=h,
@@ -85,14 +96,21 @@ def _grid_cell_key(base: RunConfig, m: float, h: str, mix: str) -> str:
         quanta=base.quanta,
         warmup_quanta=base.warmup_quanta,
     )
+    if fault_plan is not None and fault_plan.any_scheduler_enabled:
+        fields["faults"] = repr(fault_plan)
+    return RunJournal.cell_key(**fields)
 
 
 def _run_cell(
-    base: RunConfig, m: float, h: str, mix: str, retry: Optional[RetryPolicy]
+    base: RunConfig, m: float, h: str, mix: str, retry: Optional[RetryPolicy],
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Dict:
     th = ThresholdConfig(ipc_threshold=m)
     r = guarded_run(
-        lambda: run_adts(replace(base, mix=mix), heuristic=h, thresholds=th),
+        lambda: run_adts(
+            replace(base, mix=mix), heuristic=h, thresholds=th,
+            fault_plan=fault_plan,
+        ),
         retry=retry,
         label=f"grid[thr={m:g},{h},{mix}]",
     )
@@ -111,6 +129,7 @@ def threshold_type_grid(
     journal: Optional[RunJournal] = None,
     retry: Optional[RetryPolicy] = None,
     executor: Optional["SupervisedExecutor"] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SweepResult:
     """Run the full grid. Cost = len(thresholds) x len(heuristics) x
     len(mixes) simulations of ``base.total_quanta()`` quanta each.
@@ -127,6 +146,10 @@ def threshold_type_grid(
     has its own restart budget). The aggregate is identical to the serial
     path for any worker count: every cell is seed-deterministic and the
     results are reassembled here in canonical grid order.
+
+    ``fault_plan`` applies to every cell run (serial or supervised).
+    Disk-only plans exercise the storage layer without changing any cell
+    payload, so the aggregate stays identical to a fault-free sweep.
     """
     result = SweepResult(
         thresholds=list(thresholds), heuristics=list(heuristics), mixes=list(mixes)
@@ -139,8 +162,11 @@ def threshold_type_grid(
             WorkItem(
                 label=f"grid[thr={m:g},{h},{mix}]",
                 kind="grid_cell",
-                spec={"config": base, "threshold": m, "heuristic": h, "mix": mix},
-                key=_grid_cell_key(base, m, h, mix),
+                spec={
+                    "config": base, "threshold": m, "heuristic": h,
+                    "mix": mix, "fault_plan": fault_plan,
+                },
+                key=_grid_cell_key(base, m, h, mix, fault_plan),
             )
             for m in thresholds
             for h in heuristics
@@ -153,12 +179,12 @@ def threshold_type_grid(
             total_switches = 0
             benign_weighted = 0.0
             for mix in mixes:
-                key = _grid_cell_key(base, m, h, mix)
+                key = _grid_cell_key(base, m, h, mix, fault_plan)
                 payload = payloads.get(key)
                 if payload is None and journal is not None:
                     payload = journal.get(key)
                 if payload is None:
-                    payload = _run_cell(base, m, h, mix, retry)
+                    payload = _run_cell(base, m, h, mix, retry, fault_plan)
                     if journal is not None:
                         journal.record(key, payload)
                 ipcs.append(payload["ipc"])

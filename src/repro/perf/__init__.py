@@ -11,7 +11,9 @@ from repro.perf.bench import (
     PRE_PR_BASELINE,
     BenchReport,
     compare_to_baseline,
+    load_report_json,
     run_benchmarks,
+    write_report,
 )
 from repro.perf.profiler import StageProfiler
 
@@ -19,6 +21,8 @@ __all__ = [
     "PRE_PR_BASELINE",
     "BenchReport",
     "compare_to_baseline",
+    "load_report_json",
     "run_benchmarks",
+    "write_report",
     "StageProfiler",
 ]

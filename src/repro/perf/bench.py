@@ -25,6 +25,13 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.storage.artifact import embed_json_artifact, load_json_artifact
+from repro.storage.atomic import atomic_write_bytes
+
+#: Artifact-envelope format name for bench report JSON documents.
+BENCH_FORMAT = "bench-report"
+BENCH_FORMAT_VERSION = 1
+
 #: Rates measured at the seed commit (pre-PR-4 engine) on the reference
 #: machine, same workloads as the ``detailed_*`` benchmarks below.  The
 #: ``speedup_vs_pre_pr`` figures in the report are relative to these.
@@ -265,6 +272,29 @@ def run_benchmarks(quick: bool = False, seed: int = 0,
     return report
 
 
+def write_report(path: str, report) -> None:
+    """Atomically write a report as a checksummed JSON artifact.
+
+    Accepts a :class:`BenchReport` or an already-built payload dict. The
+    document stays plain greppable JSON; the embedded ``"artifact"`` block
+    carries format/version/CRC so ``repro fsck`` can audit it.
+    """
+    payload = report.to_dict() if isinstance(report, BenchReport) else dict(report)
+    doc = embed_json_artifact(payload, BENCH_FORMAT, BENCH_FORMAT_VERSION)
+    blob = json.dumps(doc, indent=2, sort_keys=True, default=str) + "\n"
+    atomic_write_bytes(path, blob.encode("utf-8"))
+
+
+def load_report_json(path: str) -> Dict:
+    """Load a bench-report JSON document (enveloped or legacy plain JSON).
+
+    Validates the embedded checksum when present; a legacy document (like
+    the committed ``BENCH_PR4.json``) loads as-is.
+    """
+    _, payload = load_json_artifact(path, expect_format=BENCH_FORMAT)
+    return payload
+
+
 def compare_to_baseline(report: BenchReport, baseline_path: str,
                         band: float = 0.40) -> List[str]:
     """Regression check against a committed benchmark JSON.
@@ -274,8 +304,7 @@ def compare_to_baseline(report: BenchReport, baseline_path: str,
     Only rate metrics are compared (wall seconds differ per machine but a
     >40% rate drop on the same workload signals a real slowdown).
     """
-    with open(baseline_path) as fh:
-        baseline = json.load(fh)
+    baseline = load_report_json(baseline_path)
     failures = []
     for name, entry in report.benchmarks.items():
         base = baseline.get("benchmarks", {}).get(name)

@@ -237,7 +237,11 @@ class SimulationService:
         self._journal: Optional[RunJournal] = None
         if cfg.journal_path:
             self._journal = RunJournal(cfg.journal_path)
-            self._journal.load()
+            # Salvage rather than abort: a service must come up even when its
+            # response journal took damage — intact responses stay instant
+            # hits, damaged records simply re-run, the corrupt original is
+            # quarantined to *.corrupt for `repro fsck` / post-mortem.
+            self._journal.recover()
         self._fault_rng = None
         if cfg.fault_plan is not None and (
             cfg.fault_plan.service_overload_rate > 0.0

@@ -1,0 +1,303 @@
+"""Artifact-tree audit and repair (the ``repro fsck`` engine).
+
+Scans a results/cache/journal tree, classifies every artifact file, repairs
+what can be repaired *safely* (a repair never loses data that validated),
+and quarantines the rest to ``*.corrupt`` so sweeps regenerate instead of
+re-reading bad bytes. Classification taxonomy:
+
+* ``healthy`` — validates against its checksums as-is;
+* ``migratable`` — intact but written in a legacy format (bare
+  ``REPRO-SNAP`` checkpoint, bare ``.npz`` archive, journal lines without
+  per-line CRCs, plain-JSON report); repair rewrites it in the current
+  enveloped/checksummed form, preserving the payload bit-for-bit;
+* ``torn-tail`` — a journal whose final line is truncated (mid-write
+  kill); repair truncates the tail, keeping every complete record;
+* ``corrupt`` — fails validation in a way no repair can trust (bad magic
+  where an artifact must be, checksum mismatch, undecodable interior);
+  repair quarantines the file (and, for journals, salvages the records
+  that still validate into a rewritten journal);
+* ``stale-temp`` — an orphaned atomic-write temp file (a crash between
+  write and rename); repair removes it;
+* ``alien`` — an artifact-suffixed file whose content matches no known
+  format and parses as nothing; treated as corrupt.
+
+Files that are not artifacts (locks, previous ``*.corrupt`` quarantines,
+unrelated extensions) are left untouched. The report is machine-readable
+(:meth:`FsckReport.to_dict`) and :attr:`FsckReport.exit_code` is non-zero
+iff this run quarantined something — "fsck found real damage" is scriptable.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.storage.artifact import (
+    canonical_json_crc,
+    is_enveloped,
+    unpack_artifact,
+    write_artifact,
+)
+from repro.storage.atomic import atomic_write_bytes, quarantine
+from repro.storage.errors import ArtifactError
+
+#: File suffixes fsck treats as artifacts it must be able to classify.
+ARTIFACT_SUFFIXES = (".snap", ".npz", ".jsonl", ".json")
+
+#: Classification statuses, in severity order (worst first).
+STATUSES = ("corrupt", "alien", "torn-tail", "stale-temp", "migratable", "healthy")
+
+
+@dataclass
+class FsckEntry:
+    """One scanned file's classification and the action taken on it.
+
+    ``action`` is one of ``none`` (healthy, or dry-run), ``migrated``,
+    ``truncated``, ``salvaged`` (journal rewritten from surviving
+    records), ``quarantined``, ``removed`` (stale temp), or ``failed``
+    (a repair itself hit an I/O error).
+    """
+
+    path: str
+    status: str
+    action: str = "none"
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "path": self.path,
+            "status": self.status,
+            "action": self.action,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one tree scan."""
+
+    root: str
+    repair: bool
+    entries: List[FsckEntry] = field(default_factory=list)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Entries per status."""
+        out: Dict[str, int] = {}
+        for e in self.entries:
+            out[e.status] = out.get(e.status, 0) + 1
+        return out
+
+    @property
+    def quarantined(self) -> List[FsckEntry]:
+        """Entries this run moved aside to ``*.corrupt``."""
+        return [e for e in self.entries if e.action == "quarantined"]
+
+    @property
+    def exit_code(self) -> int:
+        """Non-zero iff this run quarantined at least one file — the
+        scriptable "real damage was found" signal. Repairable damage
+        (torn tails, migrations, stale temps) exits zero."""
+        return 1 if self.quarantined else 0
+
+    def to_dict(self) -> dict:
+        """Machine-readable report."""
+        return {
+            "root": self.root,
+            "repair": self.repair,
+            "counts": self.counts,
+            "exit_code": self.exit_code,
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+    def format_text(self) -> str:
+        """Terminal rendering: one line per non-healthy file plus totals."""
+        lines = [f"repro fsck {self.root} ({'repair' if self.repair else 'dry-run'})"]
+        for e in self.entries:
+            if e.status == "healthy":
+                continue
+            detail = f" — {e.detail}" if e.detail else ""
+            lines.append(f"  [{e.status}] {e.path} -> {e.action}{detail}")
+        counts = self.counts
+        total = sum(counts.values())
+        summary = ", ".join(f"{counts[s]} {s}" for s in STATUSES if s in counts)
+        lines.append(f"{total} artifact(s): {summary or 'none found'}")
+        return "\n".join(lines)
+
+
+def _probe_jsonl(path: Path, blob: bytes, repair: bool) -> FsckEntry:
+    """Classify (and optionally repair) a JSONL run journal."""
+    from repro.harness.journal import _entry_crc, scan_journal_lines
+
+    # Replacement-decode: a bitrotted byte poisons only its own line's
+    # JSON/CRC, so the rest of the journal still salvages.
+    scan = scan_journal_lines(blob.decode("utf-8", errors="replace").splitlines())
+    rewritten = "".join(
+        json.dumps({"key": k, "payload": p, "crc": _entry_crc(k, p)}) + "\n"
+        for k, p in scan["entries"].items()
+    )
+    if scan["bad_lines"]:
+        detail = (
+            f"{len(scan['bad_lines'])} corrupt line(s) {scan['bad_lines']}, "
+            f"{len(scan['entries'])} record(s) salvageable"
+        )
+        if not repair:
+            return FsckEntry(str(path), "corrupt", "none", detail)
+        dest = quarantine(path)
+        if dest is None:
+            return FsckEntry(str(path), "corrupt", "failed", detail)
+        atomic_write_bytes(path, rewritten.encode("utf-8"))
+        return FsckEntry(
+            str(path), "corrupt", "quarantined",
+            f"{detail}; original at {dest.name}, salvaged journal rewritten",
+        )
+    if scan["torn_tail"]:
+        detail = f"torn final line, {len(scan['entries'])} complete record(s)"
+        if not repair:
+            return FsckEntry(str(path), "torn-tail", "none", detail)
+        atomic_write_bytes(path, rewritten.encode("utf-8"))
+        return FsckEntry(str(path), "torn-tail", "truncated", detail)
+    if scan["missing_crc"]:
+        detail = f"{scan['missing_crc']} record(s) without per-line CRC"
+        if not repair:
+            return FsckEntry(str(path), "migratable", "none", detail)
+        atomic_write_bytes(path, rewritten.encode("utf-8"))
+        return FsckEntry(str(path), "migratable", "migrated", detail)
+    return FsckEntry(str(path), "healthy")
+
+
+def _probe_legacy_snapshot(path: Path, blob: bytes, repair: bool) -> FsckEntry:
+    """Classify a bare (pre-envelope) ``REPRO-SNAP`` checkpoint."""
+    from repro.smt.checkpoint import (
+        CHECKPOINT_FORMAT,
+        CHECKPOINT_VERSION,
+        CheckpointError,
+        parse_snapshot_payload,
+    )
+
+    try:
+        payload = parse_snapshot_payload(path, blob)
+    except CheckpointError as exc:
+        return _quarantine_entry(path, "corrupt", str(exc), repair)
+    if not repair:
+        return FsckEntry(str(path), "migratable", "none", "legacy v1 snapshot frame")
+    write_artifact(path, CHECKPOINT_FORMAT, CHECKPOINT_VERSION, payload)
+    return FsckEntry(
+        str(path), "migratable", "migrated", "rewrapped in the v2 envelope"
+    )
+
+
+def _probe_legacy_npz(path: Path, blob: bytes, repair: bool) -> FsckEntry:
+    """Classify a bare (pre-envelope) ``.npz`` trace archive."""
+    import numpy as np
+
+    from repro.workloads.tracecache import _COLUMNS, TRACE_FORMAT, TRACE_FORMAT_VERSION
+
+    try:
+        with np.load(io.BytesIO(blob)) as data:
+            missing = [c for c in _COLUMNS if c not in data.files]
+        if missing:
+            return _quarantine_entry(
+                path, "corrupt", f"npz missing columns {missing}", repair
+            )
+    except Exception as exc:
+        return _quarantine_entry(path, "corrupt", f"unreadable npz: {exc}", repair)
+    if not repair:
+        return FsckEntry(str(path), "migratable", "none", "legacy bare npz archive")
+    write_artifact(path, TRACE_FORMAT, TRACE_FORMAT_VERSION, blob)
+    return FsckEntry(
+        str(path), "migratable", "migrated", "rewrapped in the artifact envelope"
+    )
+
+
+def _probe_json(path: Path, blob: bytes, repair: bool) -> FsckEntry:
+    """Classify a JSON document artifact (embedded-metadata scheme)."""
+    try:
+        doc = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        return _quarantine_entry(path, "corrupt", f"undecodable JSON: {exc}", repair)
+    if not isinstance(doc, dict) or "artifact" not in doc:
+        # Plain legacy JSON (e.g. a committed baseline): intact and loadable,
+        # deliberately NOT rewritten — fsck must not dirty checked-in files.
+        return FsckEntry(str(path), "migratable", "none", "plain JSON (no envelope)")
+    meta = doc["artifact"]
+    payload = {k: v for k, v in doc.items() if k != "artifact"}
+    if canonical_json_crc(payload) != meta.get("crc32"):
+        return _quarantine_entry(path, "corrupt", "embedded checksum mismatch", repair)
+    return FsckEntry(str(path), "healthy")
+
+
+def _quarantine_entry(path: Path, status: str, detail: str, repair: bool) -> FsckEntry:
+    """Build the entry for a file that must be moved aside."""
+    if not repair:
+        return FsckEntry(str(path), status, "none", detail)
+    dest = quarantine(path)
+    if dest is None:
+        return FsckEntry(str(path), status, "failed", detail)
+    return FsckEntry(str(path), status, "quarantined", f"{detail}; moved to {dest.name}")
+
+
+def fsck_file(path: Union[str, Path], repair: bool = True) -> Optional[FsckEntry]:
+    """Classify (and optionally repair) one file; None when not an artifact.
+
+    Content is probed before the suffix is trusted, so a renamed or
+    mislabeled artifact still classifies by what it actually contains.
+    """
+    path = Path(path)
+    name = path.name
+    if name.endswith(".lock") or ".corrupt" in name:
+        return None  # locks and existing quarantine evidence: not ours to touch
+    if ".tmp." in name:
+        if repair:
+            try:
+                path.unlink()
+                action = "removed"
+            except OSError:
+                action = "failed"
+        else:
+            action = "none"
+        return FsckEntry(str(path), "stale-temp", action, "orphaned atomic-write temp")
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        return FsckEntry(str(path), "corrupt", "failed", f"unreadable: {exc}")
+    if is_enveloped(blob):
+        try:
+            unpack_artifact(blob)
+            return FsckEntry(str(path), "healthy")
+        except ArtifactError as exc:
+            return _quarantine_entry(path, "corrupt", str(exc), repair)
+    if blob[:10] == b"REPRO-SNAP":
+        return _probe_legacy_snapshot(path, blob, repair)
+    if blob[:4] == b"PK\x03\x04" and path.suffix == ".npz":
+        return _probe_legacy_npz(path, blob, repair)
+    if path.suffix == ".jsonl":
+        return _probe_jsonl(path, blob, repair)
+    if path.suffix == ".json":
+        return _probe_json(path, blob, repair)
+    if path.suffix in ARTIFACT_SUFFIXES:
+        return _quarantine_entry(
+            path, "alien", "artifact suffix but unrecognized content", repair
+        )
+    return None  # not an artifact: out of scope
+
+
+def fsck_tree(root: Union[str, Path], repair: bool = True) -> FsckReport:
+    """Scan a tree, classify every artifact, repair/quarantine per policy.
+
+    With ``repair=False`` (dry run) nothing on disk changes; the report
+    shows what a repair run *would* do. Scan order is sorted for
+    deterministic reports.
+    """
+    root = Path(root)
+    report = FsckReport(root=str(root), repair=repair)
+    paths = sorted(p for p in root.rglob("*") if p.is_file()) if root.is_dir() else [root]
+    for path in paths:
+        entry = fsck_file(path, repair=repair)
+        if entry is not None:
+            report.entries.append(entry)
+    return report

@@ -16,6 +16,7 @@ from repro.workloads.addrgen import DataAddressGenerator
 from repro.workloads.branchgen import ControlFlowGenerator
 from repro.workloads.tracegen import TRACEGEN_VERSION, TraceGenerator, make_generators
 from repro.workloads.tracecache import (
+    FlushResult,
     TraceCache,
     active_trace_cache,
     flush_trace_cache,
@@ -32,6 +33,7 @@ __all__ = [
     "ControlFlowGenerator",
     "TraceGenerator",
     "TRACEGEN_VERSION",
+    "FlushResult",
     "TraceCache",
     "active_trace_cache",
     "flush_trace_cache",

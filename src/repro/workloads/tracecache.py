@@ -23,10 +23,18 @@ Design points:
   serves (and records) live from there.  Correct by construction, costs one
   regeneration; the next flush extends the file so the cache converges on
   the longest prefix any run has needed.
-* **Atomic, shareable files** — writes go to a temp file in the cache
-  directory followed by ``os.replace``, so concurrent sweep workers never
-  observe a torn file and last-writer-wins is safe (both writers hold the
-  same stream).
+* **Atomic, shareable files** — archives are framed in the versioned
+  artifact envelope of :mod:`repro.storage.artifact` (magic, version,
+  payload CRC32) and land through
+  :func:`repro.storage.atomic.atomic_write_bytes`, so concurrent sweep
+  workers never observe a torn file and last-writer-wins is safe (both
+  writers hold the same stream). Legacy bare-``.npz`` archives (written
+  before the envelope) still load; torn or alien files are logged and
+  regenerated — the cache is an optimization, never a correctness input.
+* **Flush is fault-isolated** — one archive failing to write (disk full,
+  injected fault) is logged and counted, and the remaining traces still
+  flush; :meth:`TraceCache.flush` reports per-trace failures in its
+  :class:`FlushResult`.
 
 Activation: :func:`set_trace_cache` (used by the CLI) or the
 ``REPRO_TRACE_CACHE`` environment variable naming a directory.
@@ -35,20 +43,48 @@ Activation: :func:`set_trace_cache` (used by the CLI) or the
 from __future__ import annotations
 
 import hashlib
+import io
 import logging
 import os
-import tempfile
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.smt.instruction import Instruction
+from repro.storage.artifact import is_enveloped, unpack_artifact, write_artifact
+from repro.storage.atomic import read_bytes
+from repro.storage.errors import StorageError
 
 log = logging.getLogger("repro.tracecache")
 
 _COLUMNS = ("kind", "pc", "dep1", "dep2", "addr", "cond", "taken", "target")
 _DTYPES = ("i1", "i8", "i8", "i8", "i8", "i1", "i1", "i8")
+
+#: Artifact-envelope format name and payload version for trace archives.
+TRACE_FORMAT = "trace-columns"
+TRACE_FORMAT_VERSION = 1
+
+
+@dataclass
+class FlushResult:
+    """Outcome of one :meth:`TraceCache.flush`.
+
+    Attributes:
+        written: archives durably written.
+        failures: one ``{"name", "slot", "error"}`` record per trace whose
+            archive could not be written (the trace stays live and is
+            retried on the next flush).
+    """
+
+    written: int = 0
+    failures: List[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every grown trace was persisted."""
+        return not self.failures
 
 
 def _build_generator(profile, slot: int, name: str, seed: int):
@@ -157,7 +193,7 @@ class TraceCache:
         self._live: List[CachedTrace] = []
         self.stats: Dict[str, int] = {
             "hits": 0, "misses": 0, "replayed": 0, "recorded": 0,
-            "overruns": 0, "flushed_files": 0,
+            "overruns": 0, "flushed_files": 0, "flush_errors": 0,
         }
 
     # -- keying -------------------------------------------------------------
@@ -175,13 +211,20 @@ class TraceCache:
         cols = None
         if path.exists():
             try:
-                with np.load(path) as data:
+                blob = read_bytes(path)
+                if is_enveloped(blob):
+                    _, payload = unpack_artifact(blob, expect_format=TRACE_FORMAT)
+                else:
+                    # Legacy bare-.npz archive (pre-envelope): loads forward
+                    # as-is; fsck reports it migratable and can rewrap it.
+                    payload = blob
+                with np.load(io.BytesIO(payload)) as data:
                     cols = [data[c].tolist() for c in _COLUMNS]
                 # cond/taken are stored as i1; replayed instructions must
                 # carry the same plain bools live generation produces.
                 cols[5] = [bool(v) for v in cols[5]]
                 cols[6] = [bool(v) for v in cols[6]]
-            except Exception as exc:  # torn/alien file: regenerate
+            except Exception as exc:  # torn/corrupt/alien file: regenerate
                 log.warning("trace cache: ignoring unreadable %s (%s)", path.name, exc)
                 cols = None
         if cols is not None:
@@ -195,14 +238,18 @@ class TraceCache:
         self._live.append(trace)
         return trace
 
-    def flush(self) -> int:
+    def flush(self) -> FlushResult:
         """Persist every live trace that grew past its on-disk prefix.
 
-        Returns the number of files written.  Writes are atomic
-        (temp file + ``os.replace``) so concurrent sweep workers sharing
-        the directory never read a torn archive.
+        Writes are atomic and enveloped (magic + version + payload CRC) so
+        concurrent sweep workers sharing the directory never read a torn
+        archive. One trace failing to write does not abort the flush: the
+        failure is logged and counted (``stats["flush_errors"]``), the
+        trace stays live for the next flush, and the remaining traces
+        still persist. Returns a :class:`FlushResult` with the written
+        count and per-trace failure records.
         """
-        written = 0
+        result = FlushResult()
         stats = self.stats
         for trace in self._live:
             # Fold replay/record tallies (derived from stream positions so
@@ -220,23 +267,30 @@ class TraceCache:
                 c: np.asarray(col, dtype=dt)
                 for c, dt, col in zip(_COLUMNS, _DTYPES, trace._cols)
             }
-            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            buf = io.BytesIO()
+            np.savez_compressed(buf, **arrays)
             try:
-                with os.fdopen(fd, "wb") as fh:
-                    np.savez_compressed(fh, **arrays)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                write_artifact(
+                    path, TRACE_FORMAT, TRACE_FORMAT_VERSION, buf.getvalue()
+                )
+            except (StorageError, OSError) as exc:
+                stats["flush_errors"] += 1
+                result.failures.append(
+                    {"name": trace.name, "slot": trace.tid, "error": str(exc)}
+                )
+                log.warning(
+                    "trace cache: failed to write %s (%s); trace stays live "
+                    "for the next flush",
+                    path.name,
+                    exc,
+                )
+                continue
             trace._stored = trace._n
-            written += 1
+            result.written += 1
             log.info("trace cache: wrote %s (%d instructions)", path.name, trace._n)
         self._live = [t for t in self._live if t._n > t._stored]
-        self.stats["flushed_files"] += written
-        return written
+        self.stats["flushed_files"] += result.written
+        return result
 
 
 # -- module-level activation -----------------------------------------------
@@ -266,7 +320,7 @@ def active_trace_cache() -> Optional[TraceCache]:
     return _ACTIVE
 
 
-def flush_trace_cache() -> int:
+def flush_trace_cache() -> FlushResult:
     """Flush the active cache if any; safe no-op otherwise."""
     cache = _ACTIVE
-    return cache.flush() if cache is not None else 0
+    return cache.flush() if cache is not None else FlushResult()

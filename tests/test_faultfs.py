@@ -1,0 +1,144 @@
+"""The disk fault family: plan plumbing, injector behavior, telemetry.
+
+Covers the `FaultPlan.disk_*` fields → `DiskFaultPlan` conversion, the
+scheduler/disk family split (disk faults never install a scheduler-level
+FaultInjector and never enter grid cell keys), the injector's seeded
+per-operation draws, and the telemetry surfaced into run results.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.storage.faultfs import (
+    DiskFaultPlan,
+    FaultFS,
+    active_faultfs,
+    faultfs_session,
+    install_faultfs,
+)
+
+
+class TestPlanPlumbing:
+    def test_disk_fields_map_to_disk_plan(self):
+        plan = FaultPlan(
+            seed=9,
+            disk_torn_write_rate=0.1,
+            disk_enospc_rate=0.2,
+            disk_enospc_after_bytes=7,
+            disk_rename_fail_rate=0.3,
+            disk_bitrot_rate=0.05,
+            disk_read_eio_rate=0.15,
+            disk_slow_io_rate=0.01,
+            disk_slow_io_seconds=0.001,
+        )
+        disk = plan.disk_plan()
+        assert isinstance(disk, DiskFaultPlan)
+        assert disk.seed == 9
+        assert disk.torn_write_rate == 0.1
+        assert disk.enospc_rate == 0.2
+        assert disk.enospc_after_bytes == 7
+        assert disk.rename_fail_rate == 0.3
+        assert disk.bitrot_rate == 0.05
+        assert disk.read_eio_rate == 0.15
+        assert disk.slow_io_rate == 0.01
+        assert disk.slow_io_seconds == 0.001
+
+    def test_no_disk_rates_no_disk_plan(self):
+        assert FaultPlan(counter_stale_rate=0.5).disk_plan() is None
+
+    def test_family_split(self):
+        disk_only = FaultPlan(disk_torn_write_rate=0.5)
+        sched_only = FaultPlan(counter_stale_rate=0.5)
+        both = FaultPlan(disk_torn_write_rate=0.5, counter_stale_rate=0.5)
+        assert disk_only.any_enabled and not disk_only.any_scheduler_enabled
+        assert disk_only.any_disk_enabled
+        assert sched_only.any_scheduler_enabled and not sched_only.any_disk_enabled
+        assert both.any_scheduler_enabled and both.any_disk_enabled
+
+    def test_from_kinds_disk(self):
+        plan = FaultPlan.from_kinds(["disk"], rate=0.4, seed=3)
+        assert plan.disk_torn_write_rate == 0.4
+        assert plan.disk_enospc_rate == 0.4
+        assert plan.disk_rename_fail_rate == 0.4
+        assert not plan.any_scheduler_enabled
+
+    def test_all_excludes_disk(self):
+        plan = FaultPlan.from_kinds(["all"], rate=0.4)
+        assert not plan.any_disk_enabled
+        assert plan.any_scheduler_enabled
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            DiskFaultPlan(torn_write_rate=1.5)
+        with pytest.raises(ValueError):
+            DiskFaultPlan(enospc_after_bytes=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(disk_bitrot_rate=-0.1)
+
+
+class TestSessionScoping:
+    def test_session_restores_previous(self):
+        outer = FaultFS(DiskFaultPlan(seed=0, torn_write_rate=0.5))
+        install_faultfs(outer)
+        try:
+            inner_plan = DiskFaultPlan(seed=1, read_eio_rate=0.5)
+            with faultfs_session(inner_plan) as inner:
+                assert active_faultfs() is inner
+                assert inner is not outer
+            assert active_faultfs() is outer
+        finally:
+            install_faultfs(None)
+
+    def test_none_session_runs_clean(self):
+        outer = FaultFS(DiskFaultPlan(seed=0, torn_write_rate=0.5))
+        install_faultfs(outer)
+        try:
+            with faultfs_session(None):
+                assert active_faultfs() is None
+            assert active_faultfs() is outer
+        finally:
+            install_faultfs(None)
+
+
+class TestInjectorBehavior:
+    def test_bitrot_flips_exactly_one_bit(self, tmp_path):
+        import os
+
+        ffs = FaultFS(DiskFaultPlan(seed=0, bitrot_rate=1.0))
+        data = bytes(64)
+        p = tmp_path / "f"
+        fd = os.open(p, os.O_WRONLY | os.O_CREAT, 0o644)
+        try:
+            ffs.write(fd, data)
+        finally:
+            os.close(fd)
+        landed = p.read_bytes()
+        assert len(landed) == len(data)
+        diff = [a ^ b for a, b in zip(landed, data)]
+        flipped = [d for d in diff if d]
+        assert len(flipped) == 1 and bin(flipped[0]).count("1") == 1
+        assert ffs.counts == {"bitrot": 1}
+
+    def test_summary_shape(self):
+        ffs = FaultFS(DiskFaultPlan(seed=0, read_eio_rate=1.0))
+        with pytest.raises(OSError):
+            ffs.read_bytes("/nonexistent")
+        s = ffs.summary()
+        assert s == {
+            "disk_faults_injected": 1,
+            "disk_fault_counts": {"read_eio": 1},
+        }
+
+    def test_run_result_carries_disk_telemetry(self, tmp_path):
+        """A faulted run surfaces its injection tally in the scheduler
+        stats (keys disjoint from scheduler-fault telemetry)."""
+        from repro.harness.runner import RunConfig, run_adts
+
+        cfg = RunConfig(mix="mix01", quantum_cycles=256, quanta=2,
+                        warmup_quanta=1, seed=0)
+        plan = FaultPlan(seed=2, disk_slow_io_rate=0.0,
+                         disk_read_eio_rate=0.2, disk_torn_write_rate=0.2)
+        r = run_adts(cfg, fault_plan=plan)
+        assert "disk_faults_injected" in r.scheduler
+        assert "disk_fault_counts" in r.scheduler
+        assert "faults_injected" not in r.scheduler  # no scheduler faults

@@ -1,0 +1,218 @@
+"""`repro fsck`: classification, repair, quarantine, exit-code contract.
+
+The invariants pinned here: a dry run never touches disk; a repair run
+converges (a second pass over the same tree finds nothing left to do);
+repairs never lose data that validated (journal salvage keeps every intact
+record, migrations preserve payload bytes); and the exit code is non-zero
+exactly when something was quarantined.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness.cli import main
+from repro.harness.journal import RunJournal, _entry_crc
+from repro.smt.checkpoint import MAGIC as SNAP_MAGIC
+from repro.smt.checkpoint import _V1_HEADER
+from repro.storage import fsck_file, fsck_tree, write_artifact
+from repro.workloads.tracecache import _COLUMNS, TRACE_FORMAT, TRACE_FORMAT_VERSION
+import zlib
+
+
+def _crc_line(key, payload):
+    return json.dumps({"key": key, "payload": payload, "crc": _entry_crc(key, payload)})
+
+
+def _legacy_v1_snapshot(payload=b"not-a-real-pickle"):
+    """A well-formed legacy (pre-envelope) v1 checkpoint frame."""
+    return _V1_HEADER.pack(SNAP_MAGIC, 1, len(payload), zlib.crc32(payload)) + payload
+
+
+def _legacy_npz():
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **{c: np.arange(4, dtype=np.int64) for c in _COLUMNS})
+    return buf.getvalue()
+
+
+class TestClassification:
+    def test_healthy_envelope(self, tmp_path):
+        p = tmp_path / "t.npz"
+        write_artifact(p, TRACE_FORMAT, TRACE_FORMAT_VERSION, b"payload")
+        entry = fsck_file(p)
+        assert entry.status == "healthy" and entry.action == "none"
+
+    def test_bitrotted_envelope_is_corrupt(self, tmp_path):
+        p = tmp_path / "t.npz"
+        write_artifact(p, TRACE_FORMAT, TRACE_FORMAT_VERSION, b"payload" * 40)
+        blob = bytearray(p.read_bytes())
+        blob[-10] ^= 0x40
+        p.write_bytes(bytes(blob))
+        entry = fsck_file(p, repair=False)
+        assert entry.status == "corrupt"
+
+    def test_truncated_envelope_is_corrupt(self, tmp_path):
+        p = tmp_path / "t.snap"
+        write_artifact(p, "smt-checkpoint", 2, b"x" * 200)
+        blob = p.read_bytes()
+        p.write_bytes(blob[: len(blob) // 2])
+        assert fsck_file(p, repair=False).status == "corrupt"
+
+    def test_legacy_snapshot_is_migratable(self, tmp_path):
+        p = tmp_path / "s.snap"
+        p.write_bytes(_legacy_v1_snapshot())
+        assert fsck_file(p, repair=False).status == "migratable"
+
+    def test_legacy_npz_is_migratable(self, tmp_path):
+        p = tmp_path / "t.npz"
+        p.write_bytes(_legacy_npz())
+        assert fsck_file(p, repair=False).status == "migratable"
+
+    def test_journal_without_crc_is_migratable(self, tmp_path):
+        p = tmp_path / "j.jsonl"
+        p.write_text(json.dumps({"key": "a", "payload": {"ipc": 1.0}}) + "\n")
+        assert fsck_file(p, repair=False).status == "migratable"
+
+    def test_journal_torn_tail(self, tmp_path):
+        p = tmp_path / "j.jsonl"
+        p.write_text(_crc_line("a", {"v": 1}) + "\n" + '{"key": "b", "pa')
+        assert fsck_file(p, repair=False).status == "torn-tail"
+
+    def test_journal_interior_damage_is_corrupt(self, tmp_path):
+        p = tmp_path / "j.jsonl"
+        p.write_text("%%garbage%%\n" + _crc_line("a", {"v": 1}) + "\n")
+        assert fsck_file(p, repair=False).status == "corrupt"
+
+    def test_stale_temp(self, tmp_path):
+        p = tmp_path / ".j.jsonl.tmp.1234.0"
+        p.write_bytes(b"partial")
+        assert fsck_file(p, repair=False).status == "stale-temp"
+
+    def test_alien_content_under_artifact_suffix(self, tmp_path):
+        p = tmp_path / "x.snap"
+        p.write_bytes(b"definitely not an artifact")
+        assert fsck_file(p, repair=False).status == "alien"
+
+    def test_non_artifact_files_skipped(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("hello")
+        (tmp_path / "j.jsonl.lock").write_text("1234")
+        (tmp_path / "old.snap.corrupt").write_bytes(b"evidence")
+        report = fsck_tree(tmp_path, repair=False)
+        assert report.entries == []
+
+
+class TestDryRun:
+    def test_dry_run_touches_nothing(self, tmp_path):
+        (tmp_path / "bad.snap").write_bytes(b"garbage")
+        (tmp_path / "j.jsonl").write_text('{"key": "a", "payload": {}}\n')
+        (tmp_path / ".x.tmp.1.1").write_bytes(b"t")
+        before = {p.name: p.read_bytes() for p in tmp_path.iterdir()}
+        report = fsck_tree(tmp_path, repair=False)
+        after = {p.name: p.read_bytes() for p in tmp_path.iterdir()}
+        assert before == after
+        assert report.exit_code == 0  # dry run never quarantines
+        assert all(e.action == "none" for e in report.entries)
+
+
+class TestRepair:
+    def test_repair_converges(self, tmp_path):
+        """After one repair pass, a second pass finds nothing to do."""
+        write_artifact(tmp_path / "good.snap", "smt-checkpoint", 2, b"ok" * 50)
+        bad = tmp_path / "bad.snap"
+        write_artifact(bad, "smt-checkpoint", 2, b"x" * 50)
+        blob = bytearray(bad.read_bytes())
+        blob[-1] ^= 0xFF
+        bad.write_bytes(bytes(blob))
+        (tmp_path / "legacy.npz").write_bytes(_legacy_npz())
+        (tmp_path / "j.jsonl").write_text(
+            json.dumps({"key": "a", "payload": {"v": 1}}) + "\n"
+        )
+        (tmp_path / "torn.jsonl").write_text(
+            _crc_line("a", {"v": 1}) + "\n" + '{"key": "b'
+        )
+        (tmp_path / ".x.tmp.1.1").write_bytes(b"t")
+
+        first = fsck_tree(tmp_path, repair=True)
+        assert first.exit_code == 1  # one quarantine happened
+        assert {e.status for e in first.entries} == {
+            "healthy", "corrupt", "migratable", "torn-tail", "stale-temp"
+        }
+        second = fsck_tree(tmp_path, repair=True)
+        assert second.exit_code == 0
+        assert all(e.status == "healthy" for e in second.entries)
+
+    def test_corrupt_file_quarantined_not_deleted(self, tmp_path):
+        p = tmp_path / "bad.snap"
+        p.write_bytes(b"REPROART1\n" + b"\xff" * 30)
+        report = fsck_tree(tmp_path, repair=True)
+        assert report.exit_code == 1
+        assert not p.exists()
+        assert (tmp_path / "bad.snap.corrupt").exists()
+
+    def test_journal_salvage_keeps_intact_records(self, tmp_path):
+        p = tmp_path / "j.jsonl"
+        good = [("k%d" % i, {"ipc": float(i)}) for i in range(5)]
+        lines = [_crc_line(k, v) for k, v in good]
+        lines.insert(2, "###corrupt###")
+        p.write_text("\n".join(lines) + "\n")
+        report = fsck_tree(tmp_path, repair=True)
+        assert report.exit_code == 1  # original quarantined
+        j = RunJournal(p)
+        assert j.load() == 5
+        for k, v in good:
+            assert j.get(k) == v
+
+    def test_torn_tail_truncation_keeps_complete_records(self, tmp_path):
+        p = tmp_path / "j.jsonl"
+        p.write_text(_crc_line("a", {"v": 1}) + "\n" + '{"key": "b", "pay')
+        report = fsck_tree(tmp_path, repair=True)
+        assert report.exit_code == 0  # truncation is a repair, not a quarantine
+        j = RunJournal(p)
+        assert j.load() == 1 and j.get("a") == {"v": 1}
+
+    def test_migrated_snapshot_loads_as_envelope(self, tmp_path):
+        from repro.storage import read_artifact
+
+        payload = b"snapshot-payload-bytes"
+        p = tmp_path / "s.snap"
+        p.write_bytes(_legacy_v1_snapshot(payload))
+        fsck_tree(tmp_path, repair=True)
+        header, migrated = read_artifact(p, expect_format="smt-checkpoint")
+        assert migrated == payload  # byte-identical through the migration
+
+    def test_migrated_npz_still_loads_in_cache(self, tmp_path):
+        from repro.storage import read_artifact
+
+        blob = _legacy_npz()
+        p = tmp_path / "t.npz"
+        p.write_bytes(blob)
+        fsck_tree(tmp_path, repair=True)
+        header, migrated = read_artifact(p, expect_format=TRACE_FORMAT)
+        assert migrated == blob
+
+
+class TestCLI:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        write_artifact(tmp_path / "a.snap", "smt-checkpoint", 2, b"x")
+        assert main(["fsck", str(tmp_path)]) == 0
+        assert "healthy" in capsys.readouterr().out
+
+    def test_exit_one_iff_quarantined(self, tmp_path, capsys):
+        (tmp_path / "bad.snap").write_bytes(b"junk-not-an-artifact")
+        assert main(["fsck", str(tmp_path)]) == 1
+        assert main(["fsck", str(tmp_path)]) == 0  # already quarantined
+
+    def test_json_report(self, tmp_path, capsys):
+        (tmp_path / "bad.snap").write_bytes(b"junk")
+        rc = main(["fsck", str(tmp_path), "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert rc == report["exit_code"] == 1
+        assert report["counts"]["alien"] == 1
+
+    def test_dry_run_flag(self, tmp_path):
+        p = tmp_path / "bad.snap"
+        p.write_bytes(b"junk")
+        assert main(["fsck", str(tmp_path), "--dry-run"]) == 0
+        assert p.exists()
