@@ -245,3 +245,27 @@ class FaultPlan:
     def storm(cls, seed: int = 0, rate: float = 0.25) -> "FaultPlan":
         """Everything at once — the resilience experiment's stress preset."""
         return cls.from_kinds(["all"], rate=rate, seed=seed)
+
+    @classmethod
+    def chaos_day(cls, seed: int = 0, rate: float = 0.1) -> "FaultPlan":
+        """The combined-fault campaign preset: every *recoverable* family.
+
+        Enables the service family (synthetic overload + forced breaker
+        trips) and the recoverable disk faults (torn writes, ENOSPC, failed
+        renames) at ``rate``; the in-process scheduler families and worker
+        crash/hang ride along per-request via
+        :attr:`~repro.service.SimRequest.fault_kinds` so they land inside
+        supervised attempts rather than in the service process. Bitrot and
+        read-EIO are deliberately *excluded*: they manufacture genuinely
+        unrepairable artifacts that ``fsck`` must quarantine, which would
+        violate the campaign's "journal fsck-clean afterwards" contract by
+        design rather than by bug.
+        """
+        return cls(
+            seed=seed,
+            service_overload_rate=rate,
+            service_breaker_trip_rate=rate,
+            disk_torn_write_rate=rate,
+            disk_enospc_rate=rate,
+            disk_rename_fail_rate=rate,
+        )

@@ -1,0 +1,326 @@
+"""Chaos-day campaigns: every fault family at once, against replayed load.
+
+PRs 1–5 each proved one robustness mechanism in isolation — seeded
+scheduler faults, a supervised worker pool, admission/breaker/degradation
+serving, and a self-healing storage layer. A chaos day is the integration
+proof: one seeded campaign drives shaped (or recorded) traffic through a
+:class:`~repro.service.SimulationService` with autoscaling enabled while
+*all* the fault families fire together —
+
+* in-process scheduler faults (counters / dt / policy / hangs) ride on a
+  seeded fraction of requests via ``SimRequest.fault_kinds``;
+* worker crash / hang faults ride along the same way when a supervised
+  pool is in use (``workers > 0``);
+* service faults (synthetic overload, forced breaker trips) come from the
+  service's own :class:`~repro.faults.FaultPlan` hooks;
+* disk faults (torn writes, ENOSPC, failed renames) are injected under
+  the journal by :func:`~repro.storage.faultfs.faultfs_session`.
+
+The campaign asserts one machine-checkable **drain contract**: every
+submitted request produced exactly one response; every refusal (rejected /
+shed / failed) carries a machine-readable reason; the artifact tree —
+including the response journal that took disk faults all campaign — is
+fsck-clean (no quarantines) afterwards. The report is written through
+``repro.storage`` as a checksummed ``chaos-campaign`` artifact, and with
+the default inline lockstep mode (``workers=0`` + virtual clock) the
+deterministic portion of the report is a pure function of (config, seed):
+same seed, same report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.faults import FaultPlan
+from repro.service import (
+    AutoscalerConfig,
+    ServiceConfig,
+    SimRequest,
+    SimResponse,
+    SimulationService,
+    TimedRequest,
+    TrafficSpec,
+    VirtualClock,
+    breakdown,
+    generate_traffic,
+    load_recording,
+    replay_realtime,
+    replay_traffic,
+    save_recording,
+    traffic_fingerprint,
+)
+
+#: Storage-artifact identity of a campaign report.
+CAMPAIGN_FORMAT = "chaos-campaign"
+CAMPAIGN_VERSION = 1
+
+#: Outcomes that count as refusals and therefore must carry a reason.
+_REFUSAL_OUTCOMES = ("rejected", "shed", "failed")
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One chaos day, declaratively.
+
+    Attributes:
+        seed: root seed — traffic, per-request faults, service faults and
+            disk faults all derive from it.
+        shape / requests / duration_s: the synthetic traffic model
+            (ignored when ``recording`` is set).
+        recording: path of a ``traffic-recording`` artifact to replay
+            instead of generating synthetic traffic.
+        fault_rate: shared rate for the service and disk fault families
+            (see :meth:`~repro.faults.FaultPlan.chaos_day`).
+        request_fault_fraction / request_fault_rate: share of requests
+            carrying in-process scheduler faults, and the per-boundary
+            rate inside those requests.
+        workers: 0 = inline lockstep under a virtual clock (fully
+            deterministic report — the default and what CI pins);
+            > 0 = real supervised pool paced by the wall clock, which
+            additionally exercises worker crash/hang faults.
+        autoscale_min / autoscale_max: autoscaler bounds (always on —
+            a chaos day without scaling pressure isn't one).
+        tick_s: virtual-clock step per replay iteration.
+        time_scale: arrival-time multiplier (compress a recording).
+        queue_capacity / degrade_at_depth / max_attempts /
+        breaker_failures / breaker_cooldown_s / drain_deadline_s:
+            service knobs, passed through.
+    """
+
+    seed: int = 0
+    shape: str = "diurnal"
+    requests: int = 120
+    duration_s: float = 30.0
+    recording: Optional[str] = None
+    fault_rate: float = 0.1
+    request_fault_fraction: float = 0.25
+    request_fault_rate: float = 0.2
+    workers: int = 0
+    autoscale_min: int = 1
+    autoscale_max: int = 4
+    tick_s: float = 0.05
+    time_scale: float = 1.0
+    queue_capacity: int = 32
+    degrade_at_depth: Optional[int] = 24
+    max_attempts: int = 2
+    breaker_failures: int = 3
+    breaker_cooldown_s: float = 2.0
+    drain_deadline_s: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if not 1 <= self.autoscale_min <= self.autoscale_max:
+            raise ValueError("need 1 <= autoscale_min <= autoscale_max")
+        if self.tick_s <= 0:
+            raise ValueError("tick_s must be positive")
+        if not 0.0 <= self.request_fault_fraction <= 1.0:
+            raise ValueError("request_fault_fraction must be in [0, 1]")
+
+
+def _campaign_traffic(cfg: CampaignConfig) -> List[TimedRequest]:
+    if cfg.recording is not None:
+        return load_recording(cfg.recording)
+    kinds = ["counters", "dt", "policy", "hangs"]
+    if cfg.workers > 0:
+        # Process-level faults only where a supervisor can contain them.
+        kinds.append("worker")
+    spec = TrafficSpec(
+        shape=cfg.shape,
+        requests=cfg.requests,
+        duration_s=cfg.duration_s,
+        seed=cfg.seed,
+        fault_fraction=cfg.request_fault_fraction,
+        fault_kinds=tuple(kinds),
+        fault_rate=cfg.request_fault_rate,
+    )
+    return generate_traffic(spec)
+
+
+def check_contract(
+    events: List[TimedRequest], responses: List[SimResponse], stats: dict
+) -> dict:
+    """The drain contract, as data.
+
+    Conservation — every submitted request answered exactly once — plus
+    the refusal-reason obligation. ``ok`` is the machine-checkable verdict
+    the exit code and :func:`~repro.harness.regression.verify_campaign`
+    both key on.
+    """
+    submitted = [e.request.request_id for e in events]
+    answered: dict = {}
+    refusals_without_reason = 0
+    for r in responses:
+        answered[r.request_id] = answered.get(r.request_id, 0) + 1
+        if r.outcome in _REFUSAL_OUTCOMES and not r.reason:
+            refusals_without_reason += 1
+    missing = sorted(rid for rid in submitted if rid not in answered)
+    duplicates = sorted(rid for rid, n in answered.items() if n > 1)
+    unknown = sorted(set(answered) - set(submitted))
+    unaccounted = len(missing) + len(duplicates) + len(unknown)
+    ok = (
+        unaccounted == 0
+        and refusals_without_reason == 0
+        and stats["queue_depth"] == 0
+        and stats["inflight"] == 0
+        and len(responses) == len(submitted)
+    )
+    return {
+        "ok": ok,
+        "submitted": len(submitted),
+        "answered": len(responses),
+        "unaccounted": unaccounted,
+        "missing": missing[:20],
+        "duplicates": duplicates[:20],
+        "unknown": unknown[:20],
+        "refusals_without_reason": refusals_without_reason,
+    }
+
+
+def run_campaign(
+    cfg: CampaignConfig,
+    out_dir: Union[str, Path],
+    *,
+    full_runner: Optional[Callable[[SimRequest], dict]] = None,
+    fast_runner: Optional[Callable[[SimRequest], dict]] = None,
+) -> Tuple[dict, int]:
+    """Run one chaos day; returns ``(report, exit_code)``.
+
+    Artifacts land in ``out_dir``: ``journal.jsonl`` (the response journal
+    that absorbs the disk faults), ``traffic.json`` (the replayed stream,
+    for audit/re-replay) and ``campaign.json`` (the report). Exit code 0
+    iff the drain contract held *and* the post-run fsck found nothing to
+    quarantine. ``full_runner`` / ``fast_runner`` exist for tests that
+    substitute synthetic engines.
+    """
+    from repro.storage import atomic_write_bytes, embed_json_artifact, fsck_tree
+    import json
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    plan = FaultPlan.chaos_day(seed=cfg.seed, rate=cfg.fault_rate)
+    events = _campaign_traffic(cfg)
+    fingerprint = traffic_fingerprint(events)
+
+    deterministic = cfg.workers == 0
+    clock: Callable[[], float]
+    virtual: Optional[VirtualClock] = None
+    if deterministic:
+        virtual = VirtualClock()
+        clock = virtual
+    else:
+        import time
+
+        clock = time.monotonic
+
+    service_cfg = ServiceConfig(
+        workers=cfg.workers,
+        queue_capacity=cfg.queue_capacity,
+        degrade_at_depth=cfg.degrade_at_depth,
+        max_attempts=cfg.max_attempts,
+        breaker_failures=cfg.breaker_failures,
+        breaker_cooldown_s=cfg.breaker_cooldown_s,
+        drain_deadline_s=cfg.drain_deadline_s,
+        journal_path=out / "journal.jsonl",
+        fault_plan=plan,
+        autoscaler=AutoscalerConfig(
+            min_workers=cfg.autoscale_min,
+            max_workers=cfg.autoscale_max,
+            cooldown_s=max(cfg.tick_s * 4, 0.2),
+        ),
+    )
+    service = SimulationService(
+        service_cfg, full_runner=full_runner, fast_runner=fast_runner, clock=clock
+    )
+
+    # The disk fault family lives under everything the journal writes
+    # during the campaign; the traffic/report artifacts are written after
+    # the session so the evidence itself is never fault-injected.
+    from repro.storage import faultfs_session
+
+    with faultfs_session(plan.disk_plan()) as ffs:
+        if virtual is not None:
+            responses = replay_traffic(
+                service,
+                events,
+                virtual,
+                tick_s=cfg.tick_s,
+                max_virtual_s=cfg.duration_s * 4 + 60.0,
+                time_scale=cfg.time_scale,
+            )
+            # Nothing ticks the clock during drain; let each read nudge
+            # time forward so cooldown/deadline-gated paths make progress.
+            virtual.auto_advance_s = cfg.tick_s
+        else:
+            responses = replay_realtime(
+                service, events, time_scale=cfg.time_scale
+            )
+        stats = service.drain(cfg.drain_deadline_s)
+        responses.extend(service.take_completed())
+        disk_summary = ffs.summary() if ffs is not None else None
+
+    contract = check_contract(events, responses, stats)
+    fsck = fsck_tree(out, repair=True)
+    fsck_ok = fsck.exit_code == 0
+    exit_code = 0 if (contract["ok"] and fsck_ok) else 1
+
+    save_recording(
+        out / "traffic.json",
+        events,
+        meta={"source": "chaosday", "seed": cfg.seed, "shape": cfg.shape},
+    )
+    report = {
+        "kind": CAMPAIGN_FORMAT,
+        "config": asdict(cfg),
+        "deterministic": deterministic,
+        "traffic_fingerprint": fingerprint,
+        "contract": contract,
+        "breakdown": breakdown(responses),
+        "counters": stats["counters"],
+        "breaker": {
+            "state": stats["breaker"]["state"],
+            "transitions": len(stats["breaker_transitions"]),
+        },
+        "autoscaler": stats["autoscaler"],
+        "faults": {
+            "plan": {"seed": plan.seed, "rate": cfg.fault_rate},
+            "disk": disk_summary,
+        },
+        "fsck": {"counts": fsck.counts, "exit_code": fsck.exit_code},
+        "exit_code": exit_code,
+    }
+    doc = embed_json_artifact(report, CAMPAIGN_FORMAT, CAMPAIGN_VERSION)
+    blob = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    atomic_write_bytes(out / "campaign.json", blob.encode("utf-8"))
+    return report, exit_code
+
+
+def format_report(report: dict) -> str:
+    """Terminal rendering of a campaign report."""
+    contract = report["contract"]
+    b = report["breakdown"]
+    lines = [
+        f"chaos day: seed={report['config']['seed']} "
+        f"shape={report['config']['shape']} "
+        f"requests={contract['submitted']} "
+        f"{'deterministic' if report['deterministic'] else 'wall-clock'}",
+        f"  contract: {'OK' if contract['ok'] else 'VIOLATED'} "
+        f"(answered {contract['answered']}/{contract['submitted']}, "
+        f"unaccounted {contract['unaccounted']}, "
+        f"reasonless refusals {contract['refusals_without_reason']})",
+        f"  outcomes: {b['outcomes']}",
+        f"  degraded share {b['degraded_share']:.2%}, "
+        f"deadline miss rate {b['deadline_miss_rate']:.2%}",
+        f"  autoscaler: ups={report['autoscaler']['scale_ups']} "
+        f"downs={report['autoscaler']['scale_downs']} "
+        f"final target={report['autoscaler']['target']}",
+        f"  breaker transitions: {report['breaker']['transitions']}",
+        f"  fsck: {report['fsck']['counts']} "
+        f"(exit {report['fsck']['exit_code']})",
+        f"  exit: {report['exit_code']}",
+    ]
+    return "\n".join(lines)

@@ -10,8 +10,14 @@ Commands map one-to-one onto the experiment index (DESIGN.md §4):
     scaling    throughput vs thread count
     oracle     the clairvoyant per-quantum upper bound
     resilience ADTS under a seeded fault storm vs. clean
-    serve      long-running overload-safe simulation service (JSONL stdio)
+    serve      long-running overload-safe simulation service (JSONL stdio);
+               --record captures the request stream for later replay
     burst      seeded overload demo (or --emit JSONL for piping into serve)
+    replay     drive recorded or shaped (diurnal/bursty/ramp) traffic into
+               a service; deterministic under --workers 0
+    chaosday   combined-fault campaign (scheduler + worker + service + disk
+               faults) against replayed traffic; exits 0 iff the drain
+               contract held and fsck quarantined nothing
     fsck       audit and repair an artifact tree (journals, checkpoints,
                trace caches, reports); exits non-zero iff it quarantined
     mixes      list the 13 mixes
@@ -36,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
 from dataclasses import replace
@@ -137,7 +144,15 @@ def _install_pool_signal_handlers(executor, journal) -> None:
         executor.shutdown()
         if journal is not None:
             journal.close()
-        sys.exit(128 + signum)
+        # os._exit, not sys.exit: the handler runs at an arbitrary interrupt
+        # point, and a SystemExit raised inside an exception-ignoring context
+        # (a __del__, multiprocessing's spawn-time logging lock, ...) is
+        # printed and swallowed — the grid would then run to completion and
+        # exit 0 despite the signal. All teardown already happened above, so
+        # a hard exit loses nothing.
+        sys.stderr.flush()
+        sys.stdout.flush()
+        os._exit(128 + signum)
 
     signal.signal(signal.SIGINT, _bail)
     signal.signal(signal.SIGTERM, _bail)
@@ -272,6 +287,25 @@ def cmd_resilience(args) -> None:
     _emit(args, out, text)
 
 
+def _autoscaler_config(args):
+    """Build an AutoscalerConfig from ``--autoscale MIN:MAX`` (or None)."""
+    if not getattr(args, "autoscale", None):
+        return None
+    from repro.service import AutoscalerConfig
+
+    try:
+        lo, hi = (int(part) for part in args.autoscale.split(":"))
+    except ValueError:
+        raise SystemExit(
+            f"--autoscale expects MIN:MAX (got {args.autoscale!r})"
+        )
+    return AutoscalerConfig(
+        min_workers=lo,
+        max_workers=hi,
+        cooldown_s=args.autoscale_cooldown,
+    )
+
+
 def _service_config(args):
     from repro.service import ServiceConfig
 
@@ -289,6 +323,7 @@ def _service_config(args):
         checkpoint_dir=args.checkpoint_dir,
         journal_path=args.journal,
         fault_plan=_fault_plan(args),
+        autoscaler=_autoscaler_config(args),
     )
 
 
@@ -304,7 +339,11 @@ def cmd_serve(args) -> int:
     from repro.service import ServeLoop, SimulationService
 
     service = SimulationService(_service_config(args))
-    return ServeLoop(service, drain_deadline_s=args.drain_deadline).run()
+    return ServeLoop(
+        service,
+        drain_deadline_s=args.drain_deadline,
+        record_path=args.record,
+    ).run()
 
 
 def cmd_burst(args) -> None:
@@ -337,6 +376,12 @@ def cmd_burst(args) -> None:
     )
     requests = generate_burst(spec)
     if args.emit:
+        # Header first: the full generating spec rides with the output, so
+        # a burst file is reproducible (and re-generatable) from itself.
+        # `repro serve` acknowledges the meta line and moves on.
+        print(json.dumps(
+            {"op": "meta", "kind": "burst-spec", "spec": asdict(spec)},
+            sort_keys=True))
         for request in requests:
             print(json.dumps({"op": "submit", "request": asdict(request)}))
         return
@@ -349,9 +394,91 @@ def cmd_burst(args) -> None:
     stats = service.drain(args.drain_deadline)
     bd = breakdown(service.take_completed())
     print(json.dumps(
-        {"breakdown": bd, "counters": stats["counters"],
+        {"spec": asdict(spec), "breakdown": bd, "counters": stats["counters"],
          "breaker": stats["breaker"]},
         indent=2, default=str))
+
+
+def cmd_replay(args) -> int:
+    """`repro replay`: drive recorded or shaped traffic into a service.
+
+    Input is either a ``traffic-recording`` artifact (captured with
+    ``repro serve --record``) or, with ``--shape``, a freshly generated
+    seeded traffic model. With ``--workers 0`` (the default) the replay
+    runs in lockstep under a virtual clock and the printed breakdown is a
+    pure function of (input, seed, service config); with real workers it
+    is paced by the wall clock (``--time-scale`` compresses it).
+    """
+    from repro.service import (
+        SimulationService,
+        TrafficSpec,
+        VirtualClock,
+        breakdown,
+        generate_traffic,
+        load_recording,
+        replay_realtime,
+        replay_traffic,
+    )
+
+    if args.recording:
+        events = load_recording(args.recording)
+        source = {"recording": args.recording, "events": len(events)}
+    else:
+        spec = TrafficSpec(
+            shape=args.shape,
+            requests=args.requests,
+            duration_s=args.duration,
+            seed=args.seed,
+        )
+        events = generate_traffic(spec)
+        source = {"shape": args.shape, "events": len(events), "seed": args.seed}
+    if args.workers == 0:
+        clock = VirtualClock()
+        service = SimulationService(_service_config(args), clock=clock)
+        responses = replay_traffic(
+            service, events, clock,
+            tick_s=args.tick, time_scale=args.time_scale,
+        )
+        clock.auto_advance_s = args.tick
+    else:
+        service = SimulationService(_service_config(args))
+        responses = replay_realtime(service, events, time_scale=args.time_scale)
+    stats = service.drain(args.drain_deadline)
+    responses.extend(service.take_completed())
+    print(json.dumps(
+        {"source": source, "breakdown": breakdown(responses),
+         "counters": stats["counters"], "autoscaler": stats["autoscaler"]},
+        indent=2, default=str))
+    return 0
+
+
+def cmd_chaosday(args) -> int:
+    """`repro chaosday`: the combined-fault campaign (see
+    :mod:`repro.harness.chaosday`). Exits 0 iff the drain contract held
+    and the post-run fsck quarantined nothing."""
+    from repro.harness.chaosday import CampaignConfig, format_report, run_campaign
+
+    cfg = CampaignConfig(
+        seed=args.seed,
+        shape=args.shape,
+        requests=args.requests,
+        duration_s=args.duration,
+        recording=args.recording,
+        fault_rate=args.fault_rate,
+        workers=args.workers,
+        autoscale_min=args.autoscale_min,
+        autoscale_max=args.autoscale_max,
+        tick_s=args.tick,
+        time_scale=args.time_scale,
+        drain_deadline_s=args.drain_deadline,
+    )
+    report, exit_code = run_campaign(cfg, args.out)
+    if args.json:
+        print(json.dumps(report, indent=2, default=str))
+    else:
+        print(format_report(report))
+        print(f"report: {args.out}/campaign.json", file=sys.stderr)
+    return exit_code
 
 
 def cmd_scaling(args) -> None:
@@ -595,12 +722,66 @@ def build_parser() -> argparse.ArgumentParser:
                             "'service' (overload + breaker-trip draws)")
         p.add_argument("--fault-rate", type=float, default=0.25)
         p.add_argument("--fault-seed", type=int, default=None)
+        p.add_argument("--autoscale", default=None, metavar="MIN:MAX",
+                       help="scale the worker pool between MIN and MAX on "
+                            "queue depth / deadline misses / breaker state")
+        p.add_argument("--autoscale-cooldown", type=float, default=0.5,
+                       help="minimum seconds between scale events")
         p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser("serve",
                        help="overload-safe simulation service (JSONL stdio)")
+    p.add_argument("--record", default=None, metavar="PATH",
+                   help="capture the submitted request stream (with arrival "
+                        "offsets) as a traffic-recording artifact at drain, "
+                        "for later `repro replay`")
     _add_service_opts(p, workers=2)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("replay",
+                       help="replay recorded or shaped traffic into a service")
+    p.add_argument("recording", nargs="?", default=None,
+                   help="traffic-recording artifact (from `repro serve "
+                        "--record`); omit to generate --shape traffic")
+    p.add_argument("--shape", default="diurnal",
+                   choices=("uniform", "diurnal", "bursty", "ramp"),
+                   help="synthetic traffic model when no recording is given")
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--duration", type=float, default=30.0,
+                   help="virtual length of generated traffic, seconds")
+    p.add_argument("--tick", type=float, default=0.05,
+                   help="virtual-clock step per replay iteration (workers=0)")
+    p.add_argument("--time-scale", type=float, default=1.0,
+                   help="arrival-time multiplier (0.1 = 10x faster)")
+    _add_service_opts(p, workers=0)
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("chaosday",
+                       help="combined-fault campaign against replayed traffic")
+    p.add_argument("--out", default="chaosday-out", metavar="DIR",
+                   help="campaign artifact directory (journal, traffic, "
+                        "report)")
+    p.add_argument("--recording", default=None, metavar="PATH",
+                   help="replay this traffic-recording instead of generating")
+    p.add_argument("--shape", default="diurnal",
+                   choices=("uniform", "diurnal", "bursty", "ramp"))
+    p.add_argument("--requests", type=int, default=120)
+    p.add_argument("--duration", type=float, default=30.0)
+    p.add_argument("--fault-rate", type=float, default=0.1,
+                   help="shared rate for the service and disk fault families")
+    p.add_argument("--workers", type=int, default=0,
+                   help="0 = deterministic inline lockstep (default); N > 0 "
+                        "= real supervised pool (adds worker crash/hang "
+                        "faults, wall-clock paced)")
+    p.add_argument("--autoscale-min", type=int, default=1)
+    p.add_argument("--autoscale-max", type=int, default=4)
+    p.add_argument("--tick", type=float, default=0.05)
+    p.add_argument("--time-scale", type=float, default=1.0)
+    p.add_argument("--drain-deadline", type=float, default=15.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="print the full campaign report JSON")
+    p.set_defaults(func=cmd_chaosday)
 
     p = sub.add_parser("burst", help="seeded overload demo")
     p.add_argument("--requests", type=int, default=200)

@@ -304,6 +304,11 @@ class SupervisedExecutor:
     def __init__(self, config: Optional[ExecutorConfig] = None) -> None:
         self.config = config or ExecutorConfig()
         self.failures: List[dict] = []
+        #: Dynamic concurrency cap below ``config.workers`` (None = no cap).
+        #: An autoscaler lowers this to scale down WITHOUT killing anything:
+        #: live attempts always run to completion, the pool just stops
+        #: spawning past the cap — scale-downs can never strand a request.
+        self.soft_cap: Optional[int] = None
         self._last_error: Dict[str, BaseException] = {}  # result_key -> last failure
         self._live: List[_Attempt] = []
         method = self.config.start_method
@@ -318,8 +323,12 @@ class SupervisedExecutor:
         return len(self._live)
 
     def has_capacity(self) -> bool:
-        """Whether another attempt can spawn without exceeding ``workers``."""
-        return len(self._live) < self.config.workers
+        """Whether another attempt can spawn without exceeding ``workers``
+        (or the tighter :attr:`soft_cap`, when an autoscaler set one)."""
+        cap = self.config.workers
+        if self.soft_cap is not None:
+            cap = min(cap, max(0, self.soft_cap))
+        return len(self._live) < cap
 
     def spawn_attempt(self, item: WorkItem, attempt: int = 1) -> None:
         """Start one supervised attempt of ``item`` (non-blocking)."""

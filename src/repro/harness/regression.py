@@ -115,6 +115,54 @@ def save_goldens(
     return count
 
 
+def verify_campaign(path: Union[str, pathlib.Path]) -> RegressionReport:
+    """Gate a chaos-day campaign report: the drain contract as mismatches.
+
+    Loads a ``chaos-campaign`` artifact (checksum verified by the storage
+    layer — a tampered or torn report fails here, not silently) and turns
+    every violated clause of the contract into a :class:`Mismatch`, so CI
+    fails the build with the same machinery (and the same readable output)
+    the goldens gate uses. Clauses checked: campaign exit code 0, contract
+    ``ok``, zero unaccounted requests, zero reasonless refusals, and an
+    fsck pass that quarantined nothing.
+    """
+    from repro.storage import ArtifactError, load_json_artifact
+
+    path = pathlib.Path(path)
+    report = RegressionReport()
+    name = path.name
+    try:
+        _, doc = load_json_artifact(path, expect_format="chaos-campaign")
+    except (OSError, ArtifactError, ValueError) as exc:
+        report.mismatches.append(
+            Mismatch(name, "<file>", "loadable chaos-campaign artifact",
+                     f"{type(exc).__name__}: {exc}", "missing")
+        )
+        return report
+    report.files_compared = 1
+    contract = doc.get("contract", {})
+    checks = (
+        ("$.exit_code", 0, doc.get("exit_code")),
+        ("$.contract.ok", True, contract.get("ok")),
+        ("$.contract.unaccounted", 0, contract.get("unaccounted")),
+        ("$.contract.refusals_without_reason", 0,
+         contract.get("refusals_without_reason")),
+        ("$.fsck.exit_code", 0, doc.get("fsck", {}).get("exit_code")),
+    )
+    for where, expected, actual in checks:
+        if actual != expected:
+            report.mismatches.append(
+                Mismatch(name, where, expected, actual, "value")
+            )
+    answered = contract.get("answered")
+    submitted = contract.get("submitted")
+    if answered != submitted:
+        report.mismatches.append(
+            Mismatch(name, "$.contract.answered", submitted, answered, "value")
+        )
+    return report
+
+
 def compare_to_goldens(
     results_dir: Union[str, pathlib.Path],
     goldens_dir: Union[str, pathlib.Path],

@@ -19,7 +19,26 @@ from repro.service.breaker import (
     STATE_HALF_OPEN,
     STATE_OPEN,
 )
-from repro.service.loadgen import BurstSpec, breakdown, generate_burst
+from repro.service.autoscale import (
+    Autoscaler,
+    AutoscalerConfig,
+    AutoscalingPool,
+    ScaleEvent,
+)
+from repro.service.loadgen import (
+    BurstSpec,
+    TimedRequest,
+    TrafficSpec,
+    VirtualClock,
+    breakdown,
+    generate_burst,
+    generate_traffic,
+    load_recording,
+    replay_realtime,
+    replay_traffic,
+    save_recording,
+    traffic_fingerprint,
+)
 from repro.service.request import (
     QueueEntry,
     SimRequest,
@@ -34,6 +53,9 @@ from repro.service.service import ServiceConfig, SimulationService
 
 __all__ = [
     "AdmissionQueue",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "AutoscalingPool",
     "BurstSpec",
     "CircuitBreaker",
     "QueueEntry",
@@ -42,6 +64,7 @@ __all__ = [
     "STATE_CLOSED",
     "STATE_HALF_OPEN",
     "STATE_OPEN",
+    "ScaleEvent",
     "ServeLoop",
     "ServiceConfig",
     "SimRequest",
@@ -51,6 +74,15 @@ __all__ = [
     "TIER_FULL",
     "TIER_KINDS",
     "TIER_NONE",
+    "TimedRequest",
+    "TrafficSpec",
+    "VirtualClock",
     "breakdown",
     "generate_burst",
+    "generate_traffic",
+    "load_recording",
+    "replay_realtime",
+    "replay_traffic",
+    "save_recording",
+    "traffic_fingerprint",
 ]

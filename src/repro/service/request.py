@@ -105,6 +105,16 @@ class SimRequest:
             kw["fault_kinds"] = tuple(kw["fault_kinds"])
         return cls(**kw)
 
+    def to_json(self) -> dict:
+        """Plain-dict form; round-trips through :meth:`from_json`.
+
+        ``fault_kinds`` becomes a list (JSON has no tuples) — ``from_json``
+        restores it, so recorded traffic replays bit-identically.
+        """
+        out = asdict(self)
+        out["fault_kinds"] = list(out["fault_kinds"])
+        return out
+
 
 @dataclass(frozen=True)
 class SimResponse:

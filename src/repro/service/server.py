@@ -46,6 +46,7 @@ import threading
 import time
 from typing import IO, List, Optional
 
+from repro.service.loadgen import TimedRequest, save_recording
 from repro.service.request import SimRequest
 from repro.service.service import SimulationService
 
@@ -63,11 +64,19 @@ class ServeLoop:
         infile: Optional[IO] = None,
         outfile: Optional[IO[str]] = None,
         drain_deadline_s: Optional[float] = None,
+        record_path: Optional[str] = None,
     ) -> None:
         self.service = service
         self.infile = infile if infile is not None else sys.stdin
         self.outfile = outfile if outfile is not None else sys.stdout
         self.drain_deadline_s = drain_deadline_s
+        #: When set, every admitted-for-parsing request is captured with its
+        #: arrival offset and written as a ``traffic-recording`` artifact at
+        #: drain — the capture half of ``repro serve --record`` /
+        #: ``repro replay``.
+        self.record_path = record_path
+        self._recorded: List[TimedRequest] = []
+        self._t0: Optional[float] = None
         try:
             self._fd: Optional[int] = self.infile.fileno()
         except (AttributeError, OSError, io.UnsupportedOperation):
@@ -148,6 +157,11 @@ class ServeLoop:
             self._emit({"event": "resumed"})
         elif op == "shutdown":
             self._stop = True
+        elif op == "meta":
+            # Descriptive header (e.g. the spec line `repro burst --emit`
+            # writes): acknowledge and carry on, so emitted burst files
+            # replay straight through `repro serve` unedited.
+            self._emit({"event": "meta-ack"})
         else:
             self._emit({"event": "error", "detail": f"unknown op {op!r}"})
 
@@ -163,6 +177,9 @@ class ServeLoop:
         except (TypeError, ValueError) as exc:
             self._emit({"event": "error", "detail": f"bad request: {exc}"})
             return
+        if self.record_path is not None:
+            at = 0.0 if self._t0 is None else time.monotonic() - self._t0
+            self._recorded.append(TimedRequest(at_s=at, request=request))
         self.service.submit(request)
         # The response (immediate or eventual) flows out via take_completed.
 
@@ -175,6 +192,7 @@ class ServeLoop:
             threading.Thread(target=self._read_lines_thread, daemon=True).start()
         prev_term = signal.signal(signal.SIGTERM, self._request_stop)
         prev_int = signal.signal(signal.SIGINT, self._request_stop)
+        self._t0 = time.monotonic()
         try:
             self._emit(
                 {
@@ -203,6 +221,19 @@ class ServeLoop:
             stats = self.service.drain(self.drain_deadline_s)
             for response in self.service.take_completed():
                 self._emit({"event": "response", "response": response.to_json()})
+            if self.record_path is not None:
+                save_recording(
+                    self.record_path,
+                    self._recorded,
+                    meta={"source": "serve", "submitted": len(self._recorded)},
+                )
+                self._emit(
+                    {
+                        "event": "recorded",
+                        "path": str(self.record_path),
+                        "requests": len(self._recorded),
+                    }
+                )
             self._emit({"event": "drained", "stats": stats})
             return 0
         finally:

@@ -59,6 +59,7 @@ from repro.harness.errors import (
 )
 from repro.harness.journal import RunJournal
 from repro.service.admission import AdmissionQueue
+from repro.service.autoscale import Autoscaler, AutoscalerConfig, AutoscalingPool
 from repro.service.breaker import STATE_OPEN, CircuitBreaker
 from repro.service.request import (
     QueueEntry,
@@ -100,6 +101,14 @@ class ServiceConfig:
             resubmission (warm restart).
         fault_plan: service-level chaos hooks (``service_overload_rate`` /
             ``service_breaker_trip_rate``), seeded and deterministic.
+        autoscaler: scale the worker pool on queue depth, deadline-miss
+            rate and breaker state (see
+            :class:`~repro.service.autoscale.AutoscalerConfig`). With
+            ``workers > 0`` the pool's concurrency cap follows the
+            target (never killing in-flight attempts on scale-down);
+            with ``workers == 0`` the target bounds how many inline
+            full-tier runs one pump dispatches — same state machine,
+            deterministic under a virtual clock.
     """
 
     workers: int = 2
@@ -116,6 +125,7 @@ class ServiceConfig:
     checkpoint_dir: Optional[Union[str, Path]] = None
     journal_path: Optional[Union[str, Path]] = None
     fault_plan: Optional[FaultPlan] = None
+    autoscaler: Optional[AutoscalerConfig] = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -216,13 +226,19 @@ class SimulationService:
         self.breaker = CircuitBreaker(
             cfg.breaker_failures, cfg.breaker_cooldown_s, clock
         )
+        self.autoscaler = Autoscaler(cfg.autoscaler) if cfg.autoscaler else None
         self.executor = None
         if cfg.workers > 0:
             from repro.harness.executor import ExecutorConfig, SupervisedExecutor
 
+            pool_size = cfg.workers
+            if self.autoscaler is not None:
+                # The pool is provisioned at the scaling ceiling; the
+                # autoscaler's soft cap governs how much of it is used.
+                pool_size = max(cfg.workers, cfg.autoscaler.max_workers)
             self.executor = SupervisedExecutor(
                 ExecutorConfig(
-                    workers=cfg.workers,
+                    workers=pool_size,
                     run_timeout_s=cfg.run_timeout_s,
                     heartbeat_timeout_s=cfg.heartbeat_timeout_s,
                     max_restarts=0,  # the service owns retry policy
@@ -232,6 +248,8 @@ class SimulationService:
                     ),
                 )
             )
+            if self.autoscaler is not None:
+                self.executor = AutoscalingPool(self.executor, self.autoscaler)
         self._full_runner = full_runner or _default_full_runner
         self._fast_runner = fast_runner or _default_fast_runner
         self._journal: Optional[RunJournal] = None
@@ -251,6 +269,7 @@ class SimulationService:
                 "service-faults"
             )
         self._inflight: Dict[str, QueueEntry] = {}  # result_key -> entry
+        self._scale_snapshot = (0, 0)  # (shed, answered) at the last observe
         self._completed: List[SimResponse] = []
         self._seq = 0
         self._accepting = True
@@ -344,6 +363,8 @@ class SimulationService:
                 self._on_full_outcome(out)
         for entry in self.queue.shed_expired(now):
             self._respond_shed(entry, "deadline-expired")
+        if self.autoscaler is not None:
+            self._observe_pressure(now)
         if self.breaker.state == STATE_OPEN:
             while True:
                 entry, shed = self.queue.take_if(
@@ -358,8 +379,37 @@ class SimulationService:
             self._dispatch_full(now)
         return len(self._completed) - produced
 
+    def _observe_pressure(self, now: float) -> None:
+        """Feed the autoscaler one observation and actuate the new target."""
+        c = self.counters
+        answered = (
+            c["completed_full"] + c["journal_hits"] + c["degraded"]
+            + c["rejected"] + c["shed"] + c["failed"]
+        )
+        shed = c["shed"]
+        last_shed, last_answered = self._scale_snapshot
+        self._scale_snapshot = (shed, answered)
+        self.autoscaler.observe(
+            now,
+            queue_depth=self.queue.depth,
+            shed_delta=shed - last_shed,
+            answered_delta=answered - last_answered,
+            breaker_open=self.breaker.state == STATE_OPEN,
+        )
+        if isinstance(self.executor, AutoscalingPool):
+            self.executor.sync()
+
     def _dispatch_full(self, now: float) -> None:
+        dispatched = 0
         while self.queue.depth > 0:
+            if (
+                self.executor is None
+                and self.autoscaler is not None
+                and dispatched >= self.autoscaler.target
+            ):
+                # Inline mode: the autoscaler target is the per-pump
+                # dispatch budget — the lockstep analogue of N workers.
+                break
             if self.executor is not None and not self.executor.has_capacity():
                 break
             if not self.breaker.allow_full():
@@ -384,6 +434,7 @@ class SimulationService:
                 self._spawn_full(entry, forced)
             else:
                 self._run_full_inline(entry, forced)
+            dispatched += 1
 
     def _spawn_full(self, entry: QueueEntry, forced: bool) -> None:
         from repro.harness.executor import WorkItem
@@ -544,6 +595,11 @@ class SimulationService:
         )
 
     # -- consumption ---------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Requests currently occupying a worker (or inline slot)."""
+        return len(self._inflight)
+
     def take_completed(self) -> List[SimResponse]:
         """Drain and return responses produced since the last call."""
         out, self._completed = self._completed, []
@@ -636,6 +692,9 @@ class SimulationService:
             "breaker_transitions": list(self.breaker.transitions),
             "workers": (
                 self.executor.live_workers() if self.executor is not None else []
+            ),
+            "autoscaler": (
+                self.autoscaler.summary() if self.autoscaler is not None else None
             ),
         }
 

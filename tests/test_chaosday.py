@@ -1,0 +1,233 @@
+"""Chaos-day campaigns: drain contract, report reproducibility, the
+regression gate, and the hypothesis conservation property."""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan
+from repro.harness.chaosday import (
+    CampaignConfig,
+    check_contract,
+    format_report,
+    run_campaign,
+)
+from repro.harness.regression import verify_campaign
+from repro.service import (
+    ServiceConfig,
+    SimulationService,
+    TrafficSpec,
+    VirtualClock,
+    generate_traffic,
+    replay_traffic,
+)
+
+
+def ok_full(request):
+    return {"ipc": 1.0}
+
+
+def flaky_full(request):
+    """Deterministically fails a slice of requests (id-derived, not
+    random): exercises retry, degradation-on-failure and breaker paths."""
+    if int(request.request_id.split("-")[-1]) % 5 == 0:
+        raise RuntimeError("synthetic full-tier failure")
+    return {"ipc": 1.0}
+
+
+def ok_fast(request):
+    return {"ipc": 0.9}
+
+
+def small_cfg(**kw):
+    defaults = dict(seed=0, requests=40, duration_s=8.0, fault_rate=0.15)
+    defaults.update(kw)
+    return CampaignConfig(**defaults)
+
+
+class TestCampaign:
+    def test_seeded_campaign_drains_cleanly(self, tmp_path):
+        report, code = run_campaign(
+            small_cfg(), tmp_path, full_runner=flaky_full, fast_runner=ok_fast
+        )
+        assert code == 0
+        contract = report["contract"]
+        assert contract["ok"]
+        assert contract["answered"] == contract["submitted"] == 40
+        assert contract["unaccounted"] == 0
+        assert contract["refusals_without_reason"] == 0
+        assert report["fsck"]["exit_code"] == 0
+        assert report["deterministic"] is True
+        assert (tmp_path / "campaign.json").exists()
+        assert (tmp_path / "traffic.json").exists()
+        assert (tmp_path / "journal.jsonl").exists()
+        format_report(report)  # renders without blowing up
+
+    def test_same_seed_same_report(self, tmp_path):
+        reports = []
+        for sub in ("a", "b"):
+            r, code = run_campaign(
+                small_cfg(seed=11), tmp_path / sub,
+                full_runner=flaky_full, fast_runner=ok_fast,
+            )
+            assert code == 0
+            reports.append(r)
+        assert json.dumps(reports[0], sort_keys=True) == json.dumps(
+            reports[1], sort_keys=True
+        )
+
+    def test_different_seed_different_traffic(self, tmp_path):
+        a, _ = run_campaign(small_cfg(seed=1), tmp_path / "a",
+                            full_runner=ok_full, fast_runner=ok_fast)
+        b, _ = run_campaign(small_cfg(seed=2), tmp_path / "b",
+                            full_runner=ok_full, fast_runner=ok_fast)
+        assert a["traffic_fingerprint"] != b["traffic_fingerprint"]
+
+    def test_recording_replay_campaign(self, tmp_path):
+        """A campaign replayed from a recorded stream uses it verbatim."""
+        from repro.service import save_recording
+
+        events = generate_traffic(TrafficSpec(requests=20, duration_s=4.0, seed=3))
+        rec = tmp_path / "rec.json"
+        save_recording(rec, events)
+        report, code = run_campaign(
+            small_cfg(recording=str(rec)), tmp_path / "out",
+            full_runner=ok_full, fast_runner=ok_fast,
+        )
+        assert code == 0
+        assert report["contract"]["submitted"] == 20
+
+    def test_chaos_day_plan_excludes_unrepairable_disk_faults(self):
+        plan = FaultPlan.chaos_day(seed=0, rate=0.2)
+        assert plan.service_overload_rate == 0.2
+        assert plan.disk_torn_write_rate == 0.2
+        assert plan.disk_bitrot_rate == 0.0
+        assert plan.disk_read_eio_rate == 0.0
+
+
+class TestCheckContract:
+    def test_detects_silent_drop_duplicate_and_reasonless(self):
+        events = generate_traffic(TrafficSpec(requests=4, duration_s=1.0, seed=0))
+        clock = VirtualClock()
+        service = SimulationService(
+            ServiceConfig(workers=0), full_runner=ok_full,
+            fast_runner=ok_fast, clock=clock,
+        )
+        responses = replay_traffic(service, events, clock)
+        clock.auto_advance_s = 0.05
+        stats = service.drain(5.0)
+        responses.extend(service.take_completed())
+        good = check_contract(events, responses, stats)
+        assert good["ok"]
+        # Drop one response: conservation must flag it.
+        dropped = check_contract(events, responses[1:], stats)
+        assert not dropped["ok"] and dropped["unaccounted"] == 1
+        # Duplicate one: also flagged.
+        duped = check_contract(events, responses + [responses[0]], stats)
+        assert not duped["ok"] and duped["unaccounted"] == 1
+
+
+class TestVerifyCampaign:
+    def test_good_report_passes(self, tmp_path):
+        run_campaign(small_cfg(), tmp_path,
+                     full_runner=ok_full, fast_runner=ok_fast)
+        gate = verify_campaign(tmp_path / "campaign.json")
+        assert gate.ok, gate.summary()
+        assert gate.files_compared == 1
+
+    def test_tampered_report_fails_the_gate(self, tmp_path):
+        run_campaign(small_cfg(), tmp_path,
+                     full_runner=ok_full, fast_runner=ok_fast)
+        path = tmp_path / "campaign.json"
+        doc = json.loads(path.read_text())
+        doc["contract"]["unaccounted"] = 3  # breaks the embedded checksum
+        path.write_text(json.dumps(doc))
+        gate = verify_campaign(path)
+        assert not gate.ok
+
+    def test_violating_report_fails_the_gate(self, tmp_path):
+        from repro.storage import atomic_write_bytes, embed_json_artifact
+
+        bad = {
+            "kind": "chaos-campaign",
+            "exit_code": 1,
+            "contract": {"ok": False, "submitted": 10, "answered": 9,
+                         "unaccounted": 1, "refusals_without_reason": 0},
+            "fsck": {"exit_code": 0},
+        }
+        doc = embed_json_artifact(bad, "chaos-campaign", 1)
+        path = tmp_path / "campaign.json"
+        atomic_write_bytes(path, json.dumps(doc).encode())
+        gate = verify_campaign(path)
+        assert not gate.ok
+        paths = {m.path for m in gate.mismatches}
+        assert "$.contract.ok" in paths and "$.contract.unaccounted" in paths
+
+    def test_missing_file_fails_loudly(self, tmp_path):
+        gate = verify_campaign(tmp_path / "nope.json")
+        assert not gate.ok
+
+
+class TestChaosdayCli:
+    def test_cli_campaign_exits_zero_and_fscks_clean(self, tmp_path):
+        """The acceptance-criteria invocation, in-process: a seeded
+        combined-fault diurnal campaign with autoscaling, real engines."""
+        from repro.harness.cli import main
+        from repro.storage import fsck_tree
+
+        out = tmp_path / "campaign"
+        rc = main([
+            "chaosday", "--out", str(out), "--requests", "25",
+            "--duration", "6", "--seed", "3", "--json",
+        ])
+        assert rc == 0
+        report = json.loads((out / "campaign.json").read_text())
+        assert report["contract"]["ok"]
+        assert verify_campaign(out / "campaign.json").ok
+        assert fsck_tree(out, repair=False).exit_code == 0
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    fault_rate=st.floats(0.0, 0.5),
+    shape=st.sampled_from(("uniform", "diurnal", "bursty", "ramp")),
+    flaky=st.booleans(),
+)
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_request_conservation_under_any_seeded_fault_schedule(
+    seed, fault_rate, shape, flaky
+):
+    """The property the whole PR hangs on: for ANY seed, fault schedule,
+    traffic shape and engine flakiness — admitted == answered + refused-
+    with-a-reason; nothing is ever silently dropped or double-answered."""
+    events = generate_traffic(TrafficSpec(
+        shape=shape, requests=25, duration_s=5.0, seed=seed,
+        expired_fraction=0.2, deadline_fraction=0.3,
+        deadline_range_s=(0.1, 1.0),
+    ))
+    clock = VirtualClock()
+    service = SimulationService(
+        ServiceConfig(
+            workers=0, queue_capacity=8, max_attempts=2,
+            breaker_failures=2, breaker_cooldown_s=0.5,
+            fault_plan=FaultPlan.chaos_day(seed=seed, rate=fault_rate),
+        ),
+        full_runner=flaky_full if flaky else ok_full,
+        fast_runner=ok_fast,
+        clock=clock,
+    )
+    responses = replay_traffic(service, events, clock, tick_s=0.05,
+                               max_virtual_s=60.0)
+    clock.auto_advance_s = 0.05
+    stats = service.drain(10.0)
+    responses.extend(service.take_completed())
+    contract = check_contract(events, responses, stats)
+    assert contract["ok"], contract
+    counters = stats["counters"]
+    answered = (counters["completed_full"] + counters["journal_hits"]
+                + counters["degraded"] + counters["rejected"]
+                + counters["shed"] + counters["failed"])
+    assert answered == counters["submitted"] == len(events)

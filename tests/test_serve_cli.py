@@ -172,8 +172,13 @@ class TestServe:
 
 
 class TestGridSignalHandling:
-    GRID = ["grid", "--mixes", "mix01,mix02", "--quanta", "4", "--warmup",
-            "1", "--quantum", "512", "--workers", "2"]
+    # More cells than workers: after the first children appear there is
+    # always queued work left, so the grid cannot race to completion
+    # before the signal lands (a 2-cell grid occasionally finished first
+    # and exited 0, flaking the 128+signum assertion).
+    GRID = ["grid", "--mixes", "mix01,mix02,mix03,mix04,mix05,mix06",
+            "--quanta", "8", "--warmup", "1", "--quantum", "512",
+            "--workers", "2"]
 
     @pytest.mark.parametrize("signum,expected", [
         (signal.SIGINT, 130), (signal.SIGTERM, 143)])
