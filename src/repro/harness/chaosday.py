@@ -14,7 +14,10 @@ proof: one seeded campaign drives shaped (or recorded) traffic through a
 * service faults (synthetic overload, forced breaker trips) come from the
   service's own :class:`~repro.faults.FaultPlan` hooks;
 * disk faults (torn writes, ENOSPC, failed renames) are injected under
-  the journal by :func:`~repro.storage.faultfs.faultfs_session`.
+  the journal by :func:`~repro.storage.faultfs.faultfs_session` — and,
+  in sharded campaigns (``shards > 1``), under the content-addressed
+  result store as well, so cache corruption and lost puts are part of
+  the proof.
 
 The campaign asserts one machine-checkable **drain contract**: every
 submitted request produced exactly one response; every refusal (rejected /
@@ -80,6 +83,12 @@ class CampaignConfig:
             deterministic report — the default and what CI pins);
             > 0 = real supervised pool paced by the wall clock, which
             additionally exercises worker crash/hang faults.
+        shards: > 1 routes the campaign through the sharded front-door
+            (:class:`~repro.service.ShardedService`) — identity-keyed
+            routing, request coalescing under crash-safe leases, and a
+            content-addressed result store at ``out_dir/resultstore``
+            that takes the same disk faults as the journal. 1 (default)
+            keeps the single-service path.
         autoscale_min / autoscale_max: autoscaler bounds (always on —
             a chaos day without scaling pressure isn't one).
         tick_s: virtual-clock step per replay iteration.
@@ -98,6 +107,7 @@ class CampaignConfig:
     request_fault_fraction: float = 0.25
     request_fault_rate: float = 0.2
     workers: int = 0
+    shards: int = 1
     autoscale_min: int = 1
     autoscale_max: int = 4
     tick_s: float = 0.05
@@ -112,6 +122,8 @@ class CampaignConfig:
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
         if self.requests < 1:
             raise ValueError("requests must be >= 1")
         if not 1 <= self.autoscale_min <= self.autoscale_max:
@@ -233,9 +245,21 @@ def run_campaign(
             cooldown_s=max(cfg.tick_s * 4, 0.2),
         ),
     )
-    service = SimulationService(
-        service_cfg, full_runner=full_runner, fast_runner=fast_runner, clock=clock
-    )
+    if cfg.shards > 1:
+        from repro.service import ShardedService
+
+        service = ShardedService(
+            service_cfg,
+            shards=cfg.shards,
+            store=out / "resultstore",
+            full_runner=full_runner,
+            fast_runner=fast_runner,
+            clock=clock,
+        )
+    else:
+        service = SimulationService(
+            service_cfg, full_runner=full_runner, fast_runner=fast_runner, clock=clock
+        )
 
     # The disk fault family lives under everything the journal writes
     # during the campaign; the traffic/report artifacts are written after
@@ -286,6 +310,11 @@ def run_campaign(
             "transitions": len(stats["breaker_transitions"]),
         },
         "autoscaler": stats["autoscaler"],
+        "sharding": (
+            {"shards": cfg.shards, "summary": service.summary()}
+            if cfg.shards > 1
+            else None
+        ),
         "faults": {
             "plan": {"seed": plan.seed, "rate": cfg.fault_rate},
             "disk": disk_summary,
@@ -315,12 +344,30 @@ def format_report(report: dict) -> str:
         f"  outcomes: {b['outcomes']}",
         f"  degraded share {b['degraded_share']:.2%}, "
         f"deadline miss rate {b['deadline_miss_rate']:.2%}",
-        f"  autoscaler: ups={report['autoscaler']['scale_ups']} "
-        f"downs={report['autoscaler']['scale_downs']} "
-        f"final target={report['autoscaler']['target']}",
-        f"  breaker transitions: {report['breaker']['transitions']}",
-        f"  fsck: {report['fsck']['counts']} "
-        f"(exit {report['fsck']['exit_code']})",
-        f"  exit: {report['exit_code']}",
     ]
+    scaler = report.get("autoscaler")
+    if scaler is not None:
+        lines.append(
+            f"  autoscaler: ups={scaler['scale_ups']} "
+            f"downs={scaler['scale_downs']} "
+            f"final target={scaler['target']}"
+        )
+    sharding = report.get("sharding")
+    if sharding is not None:
+        s = sharding["summary"]
+        lines.append(
+            f"  sharding: {sharding['shards']} shard(s), "
+            f"{s['simulations']} simulation(s) for {s['submitted']} request(s) "
+            f"(store hits {s['cache']['store_hits']}, "
+            f"coalesced {s['coalescing']['coalesced_waiters']}, "
+            f"promotions {s['coalescing']['promotions']})"
+        )
+    lines.extend(
+        [
+            f"  breaker transitions: {report['breaker']['transitions']}",
+            f"  fsck: {report['fsck']['counts']} "
+            f"(exit {report['fsck']['exit_code']})",
+            f"  exit: {report['exit_code']}",
+        ]
+    )
     return "\n".join(lines)

@@ -327,6 +327,21 @@ def _service_config(args):
     )
 
 
+def _build_service(args, clock=None):
+    """An unsharded service, or the sharded front-door when ``--shards``
+    exceeds 1 or a ``--result-store`` is given (the store is worth having
+    even at one shard: repeats survive restarts)."""
+    from repro.service import ShardedService, SimulationService
+
+    cfg = _service_config(args)
+    shards = getattr(args, "shards", 1)
+    store = getattr(args, "result_store", None)
+    kwargs = {"clock": clock} if clock is not None else {}
+    if shards > 1 or store is not None:
+        return ShardedService(cfg, shards=max(1, shards), store=store, **kwargs)
+    return SimulationService(cfg, **kwargs)
+
+
 def cmd_serve(args) -> int:
     """`repro serve`: the long-running overload-safe simulation service.
 
@@ -334,11 +349,15 @@ def cmd_serve(args) -> int:
     SIGTERM/SIGINT — or ``{"op": "shutdown"}``, or EOF — drains gracefully:
     admission stops, in-flight work finishes or is checkpointed within the
     drain deadline, every accepted request gets its response, and the
-    process exits 0.
+    process exits 0. With ``--shards N`` the service becomes a sharded
+    front-door: requests route by deterministic identity, identical
+    in-flight requests coalesce onto one leader, and full-fidelity answers
+    persist in the ``--result-store`` directory (when given) for instant
+    byte-identical repeats across restarts.
     """
-    from repro.service import ServeLoop, SimulationService
+    from repro.service import ServeLoop
 
-    service = SimulationService(_service_config(args))
+    service = _build_service(args)
     return ServeLoop(
         service,
         drain_deadline_s=args.drain_deadline,
@@ -359,7 +378,6 @@ def cmd_burst(args) -> None:
 
     from repro.service import (
         BurstSpec,
-        SimulationService,
         breakdown,
         generate_burst,
     )
@@ -385,7 +403,7 @@ def cmd_burst(args) -> None:
         for request in requests:
             print(json.dumps({"op": "submit", "request": asdict(request)}))
         return
-    service = SimulationService(_service_config(args))
+    service = _build_service(args)
     service.paused = True
     for request in requests:
         service.submit(request)
@@ -410,7 +428,6 @@ def cmd_replay(args) -> int:
     is paced by the wall clock (``--time-scale`` compresses it).
     """
     from repro.service import (
-        SimulationService,
         TrafficSpec,
         VirtualClock,
         breakdown,
@@ -434,14 +451,14 @@ def cmd_replay(args) -> int:
         source = {"shape": args.shape, "events": len(events), "seed": args.seed}
     if args.workers == 0:
         clock = VirtualClock()
-        service = SimulationService(_service_config(args), clock=clock)
+        service = _build_service(args, clock=clock)
         responses = replay_traffic(
             service, events, clock,
             tick_s=args.tick, time_scale=args.time_scale,
         )
         clock.auto_advance_s = args.tick
     else:
-        service = SimulationService(_service_config(args))
+        service = _build_service(args)
         responses = replay_realtime(service, events, time_scale=args.time_scale)
     stats = service.drain(args.drain_deadline)
     responses.extend(service.take_completed())
@@ -466,6 +483,7 @@ def cmd_chaosday(args) -> int:
         recording=args.recording,
         fault_rate=args.fault_rate,
         workers=args.workers,
+        shards=args.shards,
         autoscale_min=args.autoscale_min,
         autoscale_max=args.autoscale_max,
         tick_s=args.tick,
@@ -727,6 +745,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "queue depth / deadline misses / breaker state")
         p.add_argument("--autoscale-cooldown", type=float, default=0.5,
                        help="minimum seconds between scale events")
+        p.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="route through a sharded front-door of N "
+                            "shard services (identity routing, request "
+                            "coalescing; > 1 implies sharded mode)")
+        p.add_argument("--result-store", default=None, metavar="DIR",
+                       help="content-addressed durable result store; "
+                            "repeated requests are answered from disk, "
+                            "byte-identical, across restarts (enables the "
+                            "sharded front-door even with --shards 1)")
         p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser("serve",
@@ -773,6 +800,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="0 = deterministic inline lockstep (default); N > 0 "
                         "= real supervised pool (adds worker crash/hang "
                         "faults, wall-clock paced)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="> 1 = run the campaign through the sharded "
+                        "front-door (coalescing, leases, and a result "
+                        "store at OUT/resultstore under disk faults)")
     p.add_argument("--autoscale-min", type=int, default=1)
     p.add_argument("--autoscale-max", type=int, default=4)
     p.add_argument("--tick", type=float, default=0.05)

@@ -138,6 +138,13 @@ def _run_service_cell(spec, progress, checkpoint_path: Optional[Path]) -> dict:
         os.kill(os.getpid(), _signal.SIGKILL)
     from repro.harness.runner import run_adts, run_fixed
 
+    if spec.get("trace_cache_dir"):
+        # Shard-owned trace-cache segment: the service stamps each cell
+        # with its shard's directory so concurrent shards never contend
+        # on (or cross-pollinate) one cache.
+        from repro.workloads.tracecache import set_trace_cache
+
+        set_trace_cache(spec["trace_cache_dir"])
     cfg = spec["config"]
     plan = spec.get("fault_plan")
     if plan is not None and spec.get("strip_worker_faults"):
@@ -182,6 +189,7 @@ class WorkItem:
     kind: str = "grid_cell"
     spec: dict = field(default_factory=dict)
     key: Optional[str] = None
+    shard: Optional[int] = None  # owning shard behind a sharded front-door
 
     @property
     def result_key(self) -> str:
@@ -370,6 +378,7 @@ class SupervisedExecutor:
         return [
             {
                 "label": att.item.label,
+                "shard": att.item.shard,
                 "attempt": att.attempt,
                 "pid": att.proc.pid,
                 "alive": att.proc.is_alive(),

@@ -4,8 +4,12 @@ Wraps the batch harness in a long-running service with bounded admission
 (backpressure, per-client fairness, deadline shedding), a circuit breaker
 over the full-fidelity worker pool, graceful degradation onto the
 calibrated fast model (every degraded answer explicitly marked), and a
-drain path that answers every accepted request before exit. See
-``DESIGN.md`` §9 and the module docstrings for the full story.
+drain path that answers every accepted request before exit. A sharded
+front-door (:class:`~repro.service.router.ShardedService`) routes by
+deterministic request identity across a pool of such services, coalesces
+identical in-flight requests under crash-safe leases, and serves repeats
+from a content-addressed durable result store. See ``DESIGN.md`` §9/§13
+and the module docstrings for the full story.
 """
 
 from repro.service.admission import (
@@ -48,6 +52,15 @@ from repro.service.request import (
     TIER_KINDS,
     TIER_NONE,
 )
+from repro.service.identity import (
+    IDENTITY_SCHEME,
+    canonical_fields,
+    fields_digest,
+    request_identity,
+    shard_of,
+)
+from repro.service.resultstore import ResultStore
+from repro.service.router import ShardedService
 from repro.service.server import ServeLoop
 from repro.service.service import ServiceConfig, SimulationService
 
@@ -58,7 +71,10 @@ __all__ = [
     "AutoscalingPool",
     "BurstSpec",
     "CircuitBreaker",
+    "IDENTITY_SCHEME",
     "QueueEntry",
+    "ResultStore",
+    "ShardedService",
     "REASON_CLIENT_QUOTA",
     "REASON_QUEUE_FULL",
     "STATE_CLOSED",
@@ -78,11 +94,15 @@ __all__ = [
     "TrafficSpec",
     "VirtualClock",
     "breakdown",
+    "canonical_fields",
+    "fields_digest",
     "generate_burst",
     "generate_traffic",
     "load_recording",
     "replay_realtime",
     "replay_traffic",
+    "request_identity",
     "save_recording",
+    "shard_of",
     "traffic_fingerprint",
 ]

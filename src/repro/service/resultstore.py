@@ -1,0 +1,289 @@
+"""Content-addressed durable result store with crash-safe leases.
+
+At millions-of-users scale, repeat traffic dominates: the same
+(mix, policy, seed, window) query arrives again and again, and the paper's
+policies are deterministic functions of that tuple. The store turns every
+repeat into a disk hit instead of a simulation.
+
+**Addressing.** Entries are keyed by the request-identity digest of
+:mod:`repro.service.identity` and written as JSON document artifacts
+(embedded ``"artifact"`` metadata block, CRC over the canonical document —
+see :func:`repro.storage.artifact.embed_json_artifact`), one file per
+result at ``<root>/shard-NN/<digest>.json``. The shard directory is
+derived from the digest, so each shard of the front-door *owns* a disjoint
+segment: two shards never write the same file, and an fsck of one segment
+never races another shard's writes.
+
+**Recover, don't abort.** A read that fails validation — bitrot, torn
+frame, a digest/filename mismatch (mislabeled content) — is treated as a
+*miss*: the damaged file is quarantined to ``*.corrupt`` and the caller
+re-simulates. A write that fails after the storage layer's bounded retries
+is absorbed and counted (``put_errors``): the store is an optimization,
+and losing one entry costs one re-simulation while aborting would cost the
+service. Corrupt or stale bytes are **never** served.
+
+**Leases.** Cross-process coalescing uses one lease file per digest at
+``<root>/leases/<digest>.lease``, created with ``O_CREAT | O_EXCL`` and
+stamped with the holder's PID in a single write. A second front-door that
+loses the race waits for the winner's result instead of re-simulating.
+Crash safety mirrors the journal-lock protocol: a lease whose stamped
+holder PID is dead is *broken* (unlinked) and re-acquired — at runtime by
+whoever finds it, and wholesale at service startup via
+:meth:`ResultStore.break_stale_leases`, so a crashed service never wedges
+its successor. An unparseable stamp is treated as live at runtime (the
+racing writer stamps its PID an instant after creating the file) but as
+stale during the startup sweep, where the service has not begun admitting
+work yet and an orphaned empty lease would otherwise block its digest
+forever.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.service.identity import shard_of
+from repro.storage import (
+    ArtifactError,
+    StorageError,
+    atomic_write_bytes,
+    embed_json_artifact,
+    load_json_artifact,
+    pid_alive,
+    quarantine,
+)
+
+log = logging.getLogger("repro.resultstore")
+
+#: Storage-artifact identity of one stored result document.
+RESULT_FORMAT = "sim-result"
+RESULT_VERSION = 1
+
+#: Lease-file suffix (``repro fsck`` knows it; see storage/fsck.py).
+LEASE_SUFFIX = ".lease"
+
+#: Stable counter names reported by :meth:`ResultStore.stats`.
+STORE_COUNTERS = (
+    "hits",
+    "misses",
+    "corrupt_misses",
+    "puts",
+    "put_errors",
+    "lease_breaks",
+    "stale_leases_broken",
+)
+
+
+class ResultStore:
+    """Durable, shard-segmented, content-addressed cache of sim results."""
+
+    def __init__(self, root: Union[str, Path], shards: int = 1) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.root = Path(root)
+        self.shards = shards
+        self.counters: Dict[str, int] = {name: 0 for name in STORE_COUNTERS}
+
+    # -- layout --------------------------------------------------------------
+    def segment(self, digest: str) -> Path:
+        """The shard-owned directory holding ``digest``'s entry."""
+        return self.root / f"shard-{shard_of(digest, self.shards):02d}"
+
+    def path_for(self, digest: str) -> Path:
+        """The content-addressed file for ``digest``."""
+        return self.segment(digest) / f"{digest}.json"
+
+    @property
+    def lease_dir(self) -> Path:
+        """Directory holding the per-digest coalescing lease files."""
+        return self.root / "leases"
+
+    def lease_path(self, digest: str) -> Path:
+        """The lease file guarding ``digest``'s coalescing group."""
+        return self.lease_dir / f"{digest}{LEASE_SUFFIX}"
+
+    # -- entries -------------------------------------------------------------
+    def get(self, digest: str) -> Optional[dict]:
+        """The stored result payload for ``digest``, or None on any miss.
+
+        Damage (bitrot, torn frame, checksum mismatch, content that does
+        not match its address) quarantines the file and reports a miss —
+        the caller re-simulates; bad bytes are never served.
+        """
+        path = self.path_for(digest)
+        try:
+            _, doc = load_json_artifact(path, expect_format=RESULT_FORMAT)
+        except FileNotFoundError:
+            self.counters["misses"] += 1
+            return None
+        except (ArtifactError, OSError, ValueError) as exc:
+            self.counters["corrupt_misses"] += 1
+            dest = quarantine(path)
+            log.warning(
+                "%s: unreadable result entry (%s); quarantined to %s, "
+                "treating as a miss",
+                path, exc, dest,
+            )
+            return None
+        payload = doc.get("payload")
+        if doc.get("identity") != digest or not isinstance(payload, dict):
+            # Content-address honesty: the document must be the result it
+            # is filed under. A mismatch means a mislabeled or tampered
+            # entry — quarantine it and miss.
+            self.counters["corrupt_misses"] += 1
+            dest = quarantine(path)
+            log.warning(
+                "%s: content-address mismatch (stored identity %r); "
+                "quarantined to %s",
+                path, doc.get("identity"), dest,
+            )
+            return None
+        self.counters["hits"] += 1
+        return payload
+
+    def put(self, digest: str, request_fields: dict, payload: dict) -> bool:
+        """Durably store ``payload`` under ``digest``; returns success.
+
+        The canonical request fields ride inside the document so ``repro
+        fsck`` can re-derive the digest and verify the address end-to-end.
+        A failed write (ENOSPC past retries, injected fault) is absorbed
+        and counted: one lost entry costs one future re-simulation.
+        """
+        doc = embed_json_artifact(
+            {"identity": digest, "request": request_fields, "payload": payload},
+            RESULT_FORMAT,
+            RESULT_VERSION,
+        )
+        blob = (json.dumps(doc, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        try:
+            atomic_write_bytes(self.path_for(digest), blob)
+        except StorageError as exc:
+            self.counters["put_errors"] += 1
+            log.warning("%s: result-store put failed (%s); entry skipped",
+                        self.path_for(digest), exc)
+            return False
+        self.counters["puts"] += 1
+        return True
+
+    def __contains__(self, digest: str) -> bool:
+        return self.path_for(digest).exists()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(
+            1
+            for seg in self.root.glob("shard-*")
+            for p in seg.glob("*.json")
+        )
+
+    # -- leases --------------------------------------------------------------
+    def acquire_lease(self, digest: str) -> bool:
+        """Try to become the leader for ``digest``; True when acquired.
+
+        A conflicting lease whose stamped holder is dead is broken
+        (unlinked — fresh file, fresh owner) and the acquisition retried
+        once, mirroring the journal's stale-lock breaking. A conflict with
+        a live holder returns False: the caller should coalesce on the
+        remote leader's eventual result instead of duplicating its work.
+        """
+        self.lease_dir.mkdir(parents=True, exist_ok=True)
+        path = self.lease_path(digest)
+        for final in (False, True):
+            try:
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            except FileExistsError:
+                holder = self.lease_holder(digest)
+                if final or holder is None or pid_alive(holder):
+                    return False
+                self.break_lease(digest)
+                continue
+            try:
+                os.write(fd, str(os.getpid()).encode("ascii"))
+            finally:
+                os.close(fd)
+            return True
+        return False  # pragma: no cover — loop always returns
+
+    def lease_holder(self, digest: str) -> Optional[int]:
+        """The PID stamped on ``digest``'s lease, or None (absent lease or
+        a not-yet-stamped one — treated as live by runtime callers)."""
+        try:
+            stamp = self.lease_path(digest).read_text(encoding="ascii").strip()
+            return int(stamp)
+        except (OSError, ValueError):
+            return None
+
+    def lease_stale(self, digest: str) -> bool:
+        """Whether ``digest``'s lease exists but its stamped holder is dead.
+
+        An unstamped/unparseable lease is *not* stale here: a racing
+        acquirer stamps its PID an instant after creating the file.
+        """
+        holder = self.lease_holder(digest)
+        return holder is not None and not pid_alive(holder)
+
+    def break_lease(self, digest: str) -> bool:
+        """Unlink ``digest``'s lease (dead or stalled leader); True if
+        something was removed. The next acquirer becomes the new leader."""
+        try:
+            os.unlink(self.lease_path(digest))
+        except FileNotFoundError:
+            return False
+        except OSError:
+            return False
+        self.counters["lease_breaks"] += 1
+        return True
+
+    def release_lease(self, digest: str) -> None:
+        """Drop a lease this process holds (idempotent, best-effort)."""
+        try:
+            os.unlink(self.lease_path(digest))
+        except OSError:
+            pass
+
+    def break_stale_leases(self) -> int:
+        """Startup sweep: unlink every lease held by a dead PID.
+
+        A service that crashed mid-simulation leaves its leases behind;
+        without this sweep a restart would treat every one of them as a
+        live remote leader and wait out the stall timeout before serving
+        those digests. Unparseable stamps are broken too — at startup
+        nothing of ours is mid-acquisition, and a crash between lease
+        creation and PID stamping would otherwise block its digest
+        forever. Returns the number of leases broken.
+        """
+        if not self.lease_dir.is_dir():
+            return 0
+        broken = 0
+        for path in sorted(self.lease_dir.glob(f"*{LEASE_SUFFIX}")):
+            try:
+                stamp = path.read_text(encoding="ascii").strip()
+                holder: Optional[int] = int(stamp)
+            except (OSError, ValueError):
+                holder = None
+            if holder is not None and pid_alive(holder):
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            broken += 1
+            log.warning(
+                "%s: broke stale result-store lease (holder %s dead)",
+                path, stamp if holder is not None else "unstamped",
+            )
+        self.counters["stale_leases_broken"] += broken
+        return broken
+
+    # -- observability -------------------------------------------------------
+    def stats(self) -> dict:
+        """Counter snapshot plus layout facts."""
+        return {
+            "root": str(self.root),
+            "shards": self.shards,
+            "counters": dict(self.counters),
+        }

@@ -1,0 +1,653 @@
+"""The sharded front-door: route, coalesce, cache, survive crashes.
+
+``ShardedService`` presents the same surface as
+:class:`~repro.service.service.SimulationService` (submit / pump /
+take_completed / drain / stats / health), so the serve loop, the replay
+helpers and the chaos-day harness drive either interchangeably — but
+behind the door sit N supervised shards and a content-addressed result
+store:
+
+1. **Identity first.** Every valid request is reduced to its simulation
+   identity (:func:`~repro.service.identity.request_identity`). Service
+   noise — client, priority, deadline — never splits the cache.
+
+2. **Store hit.** If the durable result store already holds the digest,
+   the request is answered immediately at full fidelity, byte-identical
+   to the simulation that produced the entry. Corrupt entries are
+   quarantined and treated as misses (recover-don't-abort): bad bytes are
+   never served.
+
+3. **Coalesce.** If the digest is already in flight, the request becomes
+   a *waiter* on the in-flight leader — one simulation, many answers.
+   A waiter whose own deadline lapses while coalesced is shed with a
+   machine-readable reason; no waiter ever hangs.
+
+4. **Lead.** Otherwise the request takes the digest's crash-safe lease
+   (dead-PID-stamped leases are broken, mirroring the journal lock) and
+   is dispatched to the digest's owning shard — a full
+   :class:`SimulationService` with its own admission queue, breaker,
+   degradation ladder and supervised worker pool, plus its own journal,
+   checkpoint and trace-cache segments so shards never contend on a file.
+
+5. **Promote on failure.** A leader that dies — worker crash, timeout,
+   stalled heartbeat, exhausted retries — answers its own requester with
+   the shard's refusal, and the first waiter is *promoted* to a fresh
+   leader on the same shard; remaining waiters re-coalesce on it. The
+   lease stays with this process across promotions. If the lease is held
+   by a *different* process (a second front-door sharing the store), the
+   group waits for the remote leader's published result, breaking the
+   lease and promoting locally the moment the remote holder's PID dies
+   or its result fails to appear within ``remote_wait_s``.
+
+Every response a shard produces flows back through the front door, which
+fans full-fidelity payloads out to the waiters and persists them in the
+store — so the *second* replay of any recorded traffic is pure store
+hits: zero re-simulations, byte-identical answers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.harness.errors import (
+    OUTCOME_DEGRADED,
+    OUTCOME_FULL,
+    ConfigError,
+)
+from repro.service.identity import (
+    canonical_fields,
+    request_identity,
+    shard_of,
+)
+from repro.service.request import (
+    SimRequest,
+    SimResponse,
+    TIER_FAST,
+    TIER_FULL,
+    TIER_NONE,
+)
+from repro.service.resultstore import ResultStore
+from repro.service.service import ServiceConfig, SimulationService
+
+#: Front-door counter names (shard counters are aggregated separately).
+FRONT_COUNTER_NAMES = (
+    "submitted",
+    "answered",
+    "rejected",
+    "store_hits",
+    "coalesced_waiters",
+    "shed_waiters",
+    "waiter_refusals",
+    "promotions",
+    "remote_leaders",
+    "simulations",
+)
+
+#: Severity order for aggregating per-shard breaker states.
+_BREAKER_SEVERITY = {"closed": 0, "half-open": 1, "open": 2}
+
+
+@dataclass
+class _Waiter:
+    """One request coalesced onto an in-flight leader."""
+
+    request: SimRequest
+    enqueued_at: float
+    expires_at: Optional[float]
+
+
+@dataclass
+class _Group:
+    """All in-flight interest in one simulation digest.
+
+    ``leader_rid`` is the request_id currently leading the simulation on
+    ``shard``; None means the lease is held by another process (remote
+    leader) and the whole group is waiting on the store.
+    """
+
+    digest: str
+    shard: int
+    leader_rid: Optional[str]
+    leader: Optional[SimRequest]
+    created_at: float
+    waiters: List[_Waiter] = field(default_factory=list)
+    promotions: int = 0
+
+
+class _QueueView:
+    """Duck-typed ``.queue`` for replay helpers: summed shard depth."""
+
+    def __init__(self, owner: "ShardedService") -> None:
+        self._owner = owner
+
+    @property
+    def depth(self) -> int:
+        return sum(s.queue.depth for s in self._owner.shards)
+
+
+class ShardedService:
+    """Sharded, coalescing, store-backed front door over N shard services."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        *,
+        shards: int = 2,
+        store: Union[ResultStore, str, Path, None] = None,
+        full_runner: Optional[Callable[[SimRequest], dict]] = None,
+        fast_runner: Optional[Callable[[SimRequest], dict]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        remote_wait_s: float = 30.0,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if remote_wait_s <= 0:
+            raise ValueError("remote_wait_s must be positive")
+        self.config = config or ServiceConfig()
+        self.clock = clock
+        self.remote_wait_s = remote_wait_s
+        self.store: Optional[ResultStore] = None
+        if isinstance(store, ResultStore):
+            self.store = store
+        elif store is not None:
+            self.store = ResultStore(store, shards=shards)
+        self.shards: List[SimulationService] = [
+            SimulationService(
+                self._shard_config(i),
+                full_runner=full_runner,
+                fast_runner=fast_runner,
+                clock=clock,
+            )
+            for i in range(shards)
+        ]
+        self.queue = _QueueView(self)
+        self.counters: Dict[str, int] = {n: 0 for n in FRONT_COUNTER_NAMES}
+        self._groups: Dict[str, _Group] = {}
+        self._leader_rid: Dict[str, str] = {}  # leader request_id -> digest
+        self._completed: List[SimResponse] = []
+        self._accepting = True
+        self._draining = False
+        self._paused = False
+        if self.store is not None:
+            # A predecessor that crashed mid-simulation left its leases
+            # behind; break them now (dead/unstamped holders only) rather
+            # than stalling their digests behind the remote-wait timeout.
+            self.store.break_stale_leases()
+
+    def _shard_config(self, index: int) -> ServiceConfig:
+        """Derive shard ``index``'s config: segmented journal, checkpoint
+        and trace-cache paths, so no two shards ever share a writer."""
+        cfg = self.config
+        journal = None
+        if cfg.journal_path:
+            p = Path(cfg.journal_path)
+            journal = p.with_name(f"{p.stem}-s{index:02d}{p.suffix}")
+        checkpoint = None
+        if cfg.checkpoint_dir:
+            checkpoint = Path(cfg.checkpoint_dir) / f"shard-{index:02d}"
+        trace_cache = None
+        if cfg.trace_cache_dir:
+            trace_cache = Path(cfg.trace_cache_dir) / f"shard-{index:02d}"
+        return replace(
+            cfg,
+            shard_id=index,
+            journal_path=journal,
+            checkpoint_dir=checkpoint,
+            trace_cache_dir=trace_cache,
+        )
+
+    # -- pass-throughs the serve/replay loops rely on ------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def executor(self):
+        """Any shard's executor (replay helpers only test for presence)."""
+        return next((s.executor for s in self.shards if s.executor is not None), None)
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    @paused.setter
+    def paused(self, value: bool) -> None:
+        self._paused = value
+        for shard in self.shards:
+            shard.paused = value
+
+    @property
+    def inflight(self) -> int:
+        """Unanswered work anywhere behind the door (shards + groups)."""
+        return sum(s.inflight for s in self.shards) + len(self._groups)
+
+    @property
+    def pending(self) -> int:
+        """Queued + in-flight + coalesced work still owing a response."""
+        return (
+            sum(s.pending for s in self.shards) + len(self._groups)
+        )
+
+    # -- admission -----------------------------------------------------------
+    def submit(self, request: SimRequest) -> Optional[SimResponse]:
+        """Offer one request: store hit, coalesce, or lead a simulation.
+
+        Same contract as :meth:`SimulationService.submit`: an immediate
+        disposition returns its response (also appended to the completed
+        stream); an admitted request returns None and answers later.
+        """
+        now = self.clock()
+        self.counters["submitted"] += 1
+        if not self._accepting:
+            return self._refuse(request, "draining")
+        try:
+            request.run_config()
+            if request.mode not in ("adts", "fixed"):
+                raise ConfigError("mode", request.mode, "'adts' or 'fixed'")
+        except ConfigError as exc:
+            return self._refuse(request, f"invalid-request: {exc}")
+        digest = request_identity(request)
+        if self.store is not None:
+            payload = self.store.get(digest)
+            if payload is not None:
+                self.counters["store_hits"] += 1
+                return self._respond(
+                    SimResponse(
+                        request_id=request.request_id,
+                        client=request.client,
+                        outcome=OUTCOME_FULL,
+                        tier=TIER_FULL,
+                        payload=payload,
+                        attempts=0,
+                        wait_s=0.0,
+                    )
+                )
+        group = self._groups.get(digest)
+        if group is not None:
+            self.counters["coalesced_waiters"] += 1
+            group.waiters.append(_Waiter(request, now, self._expiry(request, now)))
+            return None
+        self._lead(request, digest, now)
+        return None
+
+    @staticmethod
+    def _expiry(request: SimRequest, now: float) -> Optional[float]:
+        return now + request.deadline_s if request.deadline_s is not None else None
+
+    def _lead(self, request: SimRequest, digest: str, now: float) -> None:
+        """Install ``request`` as the digest's leader (or remote waiter)."""
+        shard_index = shard_of(digest, len(self.shards))
+        if self.store is not None and not self.store.acquire_lease(digest):
+            # Another process simulates this digest right now; wait for
+            # its published result instead of duplicating the work.
+            self.counters["remote_leaders"] += 1
+            group = _Group(digest, shard_index, None, None, now)
+            group.waiters.append(_Waiter(request, now, self._expiry(request, now)))
+            self._groups[digest] = group
+            return
+        self.counters["simulations"] += 1
+        self._groups[digest] = _Group(
+            digest, shard_index, request.request_id, request, now
+        )
+        self._leader_rid[request.request_id] = digest
+        self.shards[shard_index].submit(request)
+        # An immediate shard disposition (rejected / degraded / journal
+        # hit) lands in the shard's completed stream and resolves the
+        # group on the next pump — one code path for every outcome.
+
+    # -- the pump ------------------------------------------------------------
+    def pump(self) -> int:
+        """One dispatch iteration across all shards; returns responses
+        produced (leader answers fanned out, waiters shed, remote results
+        collected)."""
+        produced = len(self._completed)
+        for shard in self.shards:
+            shard.pump()
+        self._collect(self.clock())
+        now = self.clock()
+        self._sweep_waiters(now)
+        self._poll_remote(now)
+        return len(self._completed) - produced
+
+    def _collect(self, now: float) -> None:
+        for shard in self.shards:
+            for response in shard.take_completed():
+                self._route_response(response, now)
+
+    def _route_response(self, response: SimResponse, now: float) -> None:
+        digest = self._leader_rid.pop(response.request_id, None)
+        group = self._groups.get(digest) if digest is not None else None
+        if group is None or group.leader_rid != response.request_id:
+            self._respond(response)  # not a live leader: pass through
+            return
+        self._on_leader_response(group, response, now)
+
+    def _on_leader_response(
+        self, group: _Group, response: SimResponse, now: float
+    ) -> None:
+        digest = group.digest
+        if response.outcome == OUTCOME_FULL and response.payload is not None:
+            if self.store is not None and group.leader is not None:
+                self.store.put(
+                    digest, canonical_fields(group.leader), response.payload
+                )
+                self.store.release_lease(digest)
+            del self._groups[digest]
+            self._respond(response)
+            for w in group.waiters:
+                self._respond(
+                    SimResponse(
+                        request_id=w.request.request_id,
+                        client=w.request.client,
+                        outcome=OUTCOME_FULL,
+                        tier=TIER_FULL,
+                        payload=response.payload,
+                        attempts=response.attempts,
+                        wait_s=now - w.enqueued_at,
+                    )
+                )
+            return
+        self._respond(response)  # the leader's own (non-full) answer
+        if response.outcome == OUTCOME_DEGRADED and response.payload is not None:
+            # The shard chose the degradation ladder for this simulation;
+            # a promotion storm would re-run the very pressure that caused
+            # it. Waiters share the degraded answer, explicitly marked.
+            self._dissolve(group)
+            for w in group.waiters:
+                self._respond(
+                    SimResponse(
+                        request_id=w.request.request_id,
+                        client=w.request.client,
+                        outcome=OUTCOME_DEGRADED,
+                        tier=TIER_FAST,
+                        degraded=True,
+                        reason=f"coalesced:{response.reason}",
+                        payload=response.payload,
+                        attempts=response.attempts,
+                        wait_s=now - w.enqueued_at,
+                    )
+                )
+            return
+        # The leader died or was refused (crash / timeout / stalled /
+        # rejected / shed / failed): promote a follower so the group gets
+        # another chance at a real answer. The lease stays with us.
+        if group.waiters and not self._draining:
+            promoted = group.waiters.pop(0)
+            group.promotions += 1
+            self.counters["promotions"] += 1
+            group.leader_rid = promoted.request.request_id
+            group.leader = promoted.request
+            self._leader_rid[promoted.request.request_id] = group.digest
+            self.counters["simulations"] += 1
+            self.shards[group.shard].submit(promoted.request)
+            return
+        self._dissolve(group)
+        for w in group.waiters:  # draining: refuse, never hang
+            self._refuse_waiter(w, response, now)
+
+    def _dissolve(self, group: _Group) -> None:
+        self._groups.pop(group.digest, None)
+        if self.store is not None and group.leader is not None:
+            self.store.release_lease(group.digest)
+
+    def _refuse_waiter(
+        self, waiter: _Waiter, leader_response: SimResponse, now: float
+    ) -> None:
+        """Mirror a failed leader's refusal onto one waiter, attributed."""
+        self.counters["waiter_refusals"] += 1
+        reason = leader_response.reason or leader_response.outcome
+        self._respond(
+            SimResponse(
+                request_id=waiter.request.request_id,
+                client=waiter.request.client,
+                outcome=leader_response.outcome,
+                tier=TIER_NONE,
+                reason=f"coalesced:{reason}",
+                wait_s=now - waiter.enqueued_at,
+            )
+        )
+
+    def _sweep_waiters(self, now: float) -> None:
+        """Shed coalesced waiters whose own deadlines lapsed."""
+        for group in self._groups.values():
+            if not group.waiters:
+                continue
+            still: List[_Waiter] = []
+            for w in group.waiters:
+                if w.expires_at is not None and now >= w.expires_at:
+                    self.counters["shed_waiters"] += 1
+                    self._respond(
+                        SimResponse(
+                            request_id=w.request.request_id,
+                            client=w.request.client,
+                            outcome="shed",
+                            tier=TIER_NONE,
+                            reason="deadline-expired",
+                            wait_s=now - w.enqueued_at,
+                        )
+                    )
+                else:
+                    still.append(w)
+            group.waiters = still
+
+    def _poll_remote(self, now: float) -> None:
+        """Progress groups whose lease is held by another process."""
+        if self.store is None:
+            return
+        for digest in list(self._groups):
+            group = self._groups.get(digest)
+            if group is None or group.leader_rid is not None:
+                continue
+            payload = self.store.get(digest)
+            if payload is not None:
+                del self._groups[digest]
+                for w in group.waiters:
+                    self.counters["store_hits"] += 1
+                    self._respond(
+                        SimResponse(
+                            request_id=w.request.request_id,
+                            client=w.request.client,
+                            outcome=OUTCOME_FULL,
+                            tier=TIER_FULL,
+                            payload=payload,
+                            attempts=0,
+                            wait_s=now - w.enqueued_at,
+                        )
+                    )
+                continue
+            stalled = now - group.created_at > self.remote_wait_s
+            if not (self.store.lease_stale(digest) or stalled):
+                continue  # remote leader still alive and within budget
+            # Dead or stalled remote leader: break its lease and promote
+            # the first local waiter to lead a fresh simulation here.
+            self.store.break_lease(digest)
+            del self._groups[digest]
+            if not group.waiters:
+                continue
+            promoted = group.waiters.pop(0)
+            self.counters["promotions"] += 1
+            self._lead(promoted.request, digest, now)
+            fresh = self._groups.get(digest)
+            if fresh is not None:
+                fresh.waiters.extend(group.waiters)
+            else:  # promotion lost a lease race it cannot win twice
+                for w in group.waiters:
+                    self.counters["waiter_refusals"] += 1
+                    self._respond(
+                        SimResponse(
+                            request_id=w.request.request_id,
+                            client=w.request.client,
+                            outcome="failed",
+                            tier=TIER_NONE,
+                            reason="coalesced:lease-unavailable",
+                            wait_s=now - w.enqueued_at,
+                        )
+                    )
+
+    # -- response plumbing ---------------------------------------------------
+    def _respond(self, response: SimResponse) -> SimResponse:
+        self.counters["answered"] += 1
+        self._completed.append(response)
+        return response
+
+    def _refuse(self, request: SimRequest, reason: str) -> SimResponse:
+        self.counters["rejected"] += 1
+        return self._respond(
+            SimResponse(
+                request_id=request.request_id,
+                client=request.client,
+                outcome="rejected",
+                tier=TIER_NONE,
+                reason=reason,
+            )
+        )
+
+    def take_completed(self) -> List[SimResponse]:
+        """Drain and return responses produced since the last call."""
+        out, self._completed = self._completed, []
+        return out
+
+    def run_until_idle(self, timeout_s: Optional[float] = None) -> None:
+        """Pump until nothing is queued, in flight, or coalesced."""
+        deadline = self.clock() + timeout_s if timeout_s is not None else None
+        while self.pending > 0:
+            self.pump()
+            if deadline is not None and self.clock() > deadline:
+                raise TimeoutError(
+                    f"sharded service not idle within {timeout_s:g}s "
+                    f"(pending={self.pending})"
+                )
+            if self.executor is not None and self.pending > 0:
+                time.sleep(self.config.poll_interval_s)
+
+    # -- drain ---------------------------------------------------------------
+    def drain(self, deadline_s: Optional[float] = None) -> dict:
+        """Stop admission and wind down every shard; answer everything.
+
+        Normal pumping gets the budget first; past it each shard's own
+        drain answers its in-flight and queued work (degraded / failed /
+        shed, all with reasons), those leader responses fan out through
+        the front door, and any still-unresolved coalesced waiters — e.g.
+        groups parked on a remote leader — are refused with a
+        machine-readable reason. No waiter is ever left hanging.
+        """
+        self._accepting = False
+        self._draining = True
+        self.paused = False
+        budget = deadline_s if deadline_s is not None else self.config.drain_deadline_s
+        deadline = self.clock() + budget
+        while self.pending > 0 and self.clock() < deadline:
+            self.pump()
+            if self.executor is not None and self.pending > 0:
+                time.sleep(self.config.poll_interval_s)
+        for shard in self.shards:
+            shard.drain(max(0.0, deadline - self.clock()))
+        self._collect(self.clock())
+        now = self.clock()
+        for digest in list(self._groups):
+            group = self._groups.pop(digest)
+            if self.store is not None and group.leader is not None:
+                self.store.release_lease(digest)
+            for w in group.waiters:
+                self.counters["waiter_refusals"] += 1
+                self._respond(
+                    SimResponse(
+                        request_id=w.request.request_id,
+                        client=w.request.client,
+                        outcome="shed",
+                        tier=TIER_NONE,
+                        reason="drain-coalesced",
+                        wait_s=now - w.enqueued_at,
+                    )
+                )
+        self._leader_rid.clear()
+        return self.stats()
+
+    # -- observability -------------------------------------------------------
+    def _aggregate_counters(self, shard_stats: List[dict]) -> Dict[str, int]:
+        agg: Dict[str, int] = {}
+        for ss in shard_stats:
+            for k, v in ss["counters"].items():
+                agg[k] = agg.get(k, 0) + v
+        return agg
+
+    def stats(self) -> dict:
+        """Aggregated telemetry: front-door, store, and per-shard views."""
+        shard_stats = [s.stats() for s in self.shards]
+        agg = self._aggregate_counters(shard_stats)
+        counters = dict(agg)
+        for k, v in self.counters.items():
+            counters[f"front_{k}"] = v
+        worst = max(
+            (ss["breaker"]["state"] for ss in shard_stats),
+            key=lambda s: _BREAKER_SEVERITY.get(s, 0),
+        )
+        transitions: List[dict] = []
+        for ss in shard_stats:
+            transitions.extend(ss["breaker_transitions"])
+        autoscalers = [ss["autoscaler"] for ss in shard_stats if ss["autoscaler"]]
+        autoscaler = None
+        if autoscalers:
+            autoscaler = {
+                "target": sum(a["target"] for a in autoscalers),
+                "min_workers": sum(a["min_workers"] for a in autoscalers),
+                "max_workers": sum(a["max_workers"] for a in autoscalers),
+                "scale_ups": sum(a["scale_ups"] for a in autoscalers),
+                "scale_downs": sum(a["scale_downs"] for a in autoscalers),
+            }
+        return {
+            "accepting": self._accepting,
+            "draining": self._draining,
+            "paused": self._paused,
+            "shards": shard_stats,
+            "queue_depth": self.queue.depth,
+            "inflight": self.inflight,
+            "coalesced_groups": len(self._groups),
+            "counters": counters,
+            "breaker": {"state": worst},
+            "breaker_transitions": transitions,
+            "autoscaler": autoscaler,
+            "store": self.store.stats() if self.store is not None else None,
+        }
+
+    def summary(self) -> dict:
+        """The cache/coalescing headline: what did sharding buy us?"""
+        shard_stats = [s.stats() for s in self.shards]
+        agg = self._aggregate_counters(shard_stats)
+        sc = self.store.counters if self.store is not None else {}
+        return {
+            "shards": len(self.shards),
+            "submitted": self.counters["submitted"],
+            "answered": self.counters["answered"],
+            "cache": {
+                "journal_hits": agg.get("journal_hits", 0),
+                "store_hits": self.counters["store_hits"],
+                "store_puts": sc.get("puts", 0),
+                "store_corrupt_misses": sc.get("corrupt_misses", 0),
+            },
+            "coalescing": {
+                "coalesced_waiters": self.counters["coalesced_waiters"],
+                "promotions": self.counters["promotions"],
+                "shed_waiters": self.counters["shed_waiters"],
+                "waiter_refusals": self.counters["waiter_refusals"],
+                "remote_leaders": self.counters["remote_leaders"],
+                "lease_breaks": sc.get("lease_breaks", 0),
+                "stale_leases_broken": sc.get("stale_leases_broken", 0),
+            },
+            "simulations": self.counters["simulations"],
+            "shard_restarts": agg.get("full_failures", 0),
+        }
+
+    def health(self) -> dict:
+        """Readiness-probe view across every shard."""
+        shard_health = [s.health() for s in self.shards]
+        return {
+            "ok": self._accepting and not self._draining,
+            "degraded_mode": any(h["degraded_mode"] for h in shard_health),
+            "queue_depth": self.queue.depth,
+            "inflight": self.inflight,
+            "shards": shard_health,
+        }

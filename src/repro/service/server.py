@@ -8,7 +8,8 @@ Requests (client → service)::
 
     {"op": "submit", "request": {"request_id": "r1", "mix": "mix05", ...}}
     {"request_id": "r1", ...}          # bare object == submit shorthand
-    {"op": "stats"} | {"op": "health"} | {"op": "pause"} | {"op": "resume"}
+    {"op": "stats"} | {"op": "summary"} | {"op": "health"}
+    {"op": "pause"} | {"op": "resume"}
     {"op": "shutdown"}                 # drain and exit
 
 Events (service → client)::
@@ -54,7 +55,8 @@ _EOF = object()
 
 
 class ServeLoop:
-    """Single-threaded pump around a :class:`SimulationService`,
+    """Single-threaded pump around a :class:`SimulationService` (or a
+    :class:`~repro.service.router.ShardedService` — same surface),
     interleaving input polling, :meth:`SimulationService.pump`, and
     response emission."""
 
@@ -147,6 +149,8 @@ class ServeLoop:
             self._handle_submit(payload.get("request", payload))
         elif op == "stats":
             self._emit({"event": "stats", "stats": self.service.stats()})
+        elif op == "summary":
+            self._emit({"event": "summary", "summary": self.service.summary()})
         elif op == "health":
             self._emit({"event": "health", "health": self.service.health()})
         elif op == "pause":
@@ -199,6 +203,7 @@ class ServeLoop:
                     "event": "ready",
                     "workers": self.service.config.workers,
                     "queue_capacity": self.service.config.queue_capacity,
+                    "shards": getattr(self.service, "num_shards", 1),
                 }
             )
             while not self._stop:
@@ -212,9 +217,7 @@ class ServeLoop:
                     busy = True
                 for response in self.service.take_completed():
                     self._emit({"event": "response", "response": response.to_json()})
-                if self._eof and self.service.queue.depth == 0 and not (
-                    self.service._inflight
-                ):
+                if self._eof and self.service.pending == 0:
                     break  # input exhausted, all work answered: wind down
                 if not busy:
                     time.sleep(self.service.config.poll_interval_s)
@@ -234,7 +237,13 @@ class ServeLoop:
                         "requests": len(self._recorded),
                     }
                 )
-            self._emit({"event": "drained", "stats": stats})
+            self._emit(
+                {
+                    "event": "drained",
+                    "stats": stats,
+                    "summary": self.service.summary(),
+                }
+            )
             return 0
         finally:
             signal.signal(signal.SIGTERM, prev_term)

@@ -101,6 +101,13 @@ class ServiceConfig:
             resubmission (warm restart).
         fault_plan: service-level chaos hooks (``service_overload_rate`` /
             ``service_breaker_trip_rate``), seeded and deterministic.
+        shard_id: this service's index behind a sharded front-door
+            (:class:`~repro.service.router.ShardedService`); stamped on
+            spawned work items so worker telemetry attributes attempts
+            to their shard. None when running unsharded.
+        trace_cache_dir: per-shard trace-cache segment; worker cells set
+            ``REPRO_TRACE_CACHE`` to it so two shards never contend on
+            one cache directory.
         autoscaler: scale the worker pool on queue depth, deadline-miss
             rate and breaker state (see
             :class:`~repro.service.autoscale.AutoscalerConfig`). With
@@ -126,6 +133,8 @@ class ServiceConfig:
     journal_path: Optional[Union[str, Path]] = None
     fault_plan: Optional[FaultPlan] = None
     autoscaler: Optional[AutoscalerConfig] = None
+    shard_id: Optional[int] = None
+    trace_cache_dir: Optional[Union[str, Path]] = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -449,7 +458,14 @@ class SimulationService:
             "strip_worker_faults": entry.attempts > 1,
             "force_crash": forced,
         }
-        item = WorkItem(label=request.request_id, kind="service_cell", spec=spec)
+        if self.config.trace_cache_dir is not None:
+            spec["trace_cache_dir"] = str(self.config.trace_cache_dir)
+        item = WorkItem(
+            label=request.request_id,
+            kind="service_cell",
+            spec=spec,
+            shard=self.config.shard_id,
+        )
         self._inflight[item.result_key] = entry
         self.executor.spawn_attempt(item, entry.attempts)
 
@@ -600,6 +616,11 @@ class SimulationService:
         """Requests currently occupying a worker (or inline slot)."""
         return len(self._inflight)
 
+    @property
+    def pending(self) -> int:
+        """Admitted work still owing a response (queued + in flight)."""
+        return self.queue.depth + len(self._inflight)
+
     def take_completed(self) -> List[SimResponse]:
         """Drain and return responses produced since the last call."""
         out, self._completed = self._completed, []
@@ -696,6 +717,40 @@ class SimulationService:
             "autoscaler": (
                 self.autoscaler.summary() if self.autoscaler is not None else None
             ),
+        }
+
+    def summary(self) -> dict:
+        """Cache/coalescing headline, shaped like
+        :meth:`~repro.service.router.ShardedService.summary` so serve
+        consumers read one schema whether or not ``--shards`` was used.
+        An unsharded service has no result store and never coalesces, so
+        those fields are structurally present but zero."""
+        c = self.counters
+        answered = (
+            c["completed_full"] + c["degraded"] + c["rejected"]
+            + c["shed"] + c["failed"]
+        )
+        return {
+            "shards": 1,
+            "submitted": c["submitted"],
+            "answered": answered,
+            "cache": {
+                "journal_hits": c["journal_hits"],
+                "store_hits": 0,
+                "store_puts": 0,
+                "store_corrupt_misses": 0,
+            },
+            "coalescing": {
+                "coalesced_waiters": 0,
+                "promotions": 0,
+                "shed_waiters": 0,
+                "waiter_refusals": 0,
+                "remote_leaders": 0,
+                "lease_breaks": 0,
+                "stale_leases_broken": 0,
+            },
+            "simulations": c["admitted"],
+            "shard_restarts": c["full_failures"],
         }
 
     def health(self) -> dict:

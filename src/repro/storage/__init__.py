@@ -33,6 +33,7 @@ from repro.storage.atomic import (
     append_line,
     atomic_write_bytes,
     fsync_dir,
+    pid_alive,
     quarantine,
     read_bytes,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "append_line",
     "atomic_write_bytes",
     "fsync_dir",
+    "pid_alive",
     "quarantine",
     "read_bytes",
     "ArtifactCorruptError",

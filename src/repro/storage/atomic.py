@@ -216,6 +216,24 @@ def read_bytes(
     raise AssertionError("unreachable")  # pragma: no cover
 
 
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe).
+
+    The storage layer's lease/lock staleness checks all route through
+    here: a lease or lock stamped with a dead PID is safe to break, one
+    stamped with a PID we cannot signal (EPERM) is definitely alive.
+    """
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # exists but isn't ours (EPERM): definitely alive
+    return True
+
+
 def quarantine(path: Union[str, Path]) -> Optional[Path]:
     """Move a damaged artifact aside to ``<name>.corrupt`` (best-effort).
 

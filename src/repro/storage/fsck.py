@@ -21,6 +21,13 @@ re-reading bad bytes. Classification taxonomy:
 * ``alien`` — an artifact-suffixed file whose content matches no known
   format and parses as nothing; treated as corrupt.
 
+Result-store entries (``sim-result`` documents) additionally have their
+content address verified: the digest re-derived from the embedded
+canonical request must match the stored identity *and* the filename — a
+checksum-valid but mislabeled entry is corrupt, because serving it would
+answer the wrong simulation. Coalescing leases (``*.lease``) held by dead
+PIDs classify as ``stale-temp`` and are removed; live ones are left alone.
+
 Files that are not artifacts (locks, previous ``*.corrupt`` quarantines,
 unrelated extensions) are left untouched. The report is machine-readable
 (:meth:`FsckReport.to_dict`) and :attr:`FsckReport.exit_code` is non-zero
@@ -228,7 +235,83 @@ def _probe_json(path: Path, blob: bytes, repair: bool) -> FsckEntry:
     payload = {k: v for k, v in doc.items() if k != "artifact"}
     if canonical_json_crc(payload) != meta.get("crc32"):
         return _quarantine_entry(path, "corrupt", "embedded checksum mismatch", repair)
+    if meta.get("format") == "sim-result":
+        return _probe_sim_result(path, payload, repair)
     return FsckEntry(str(path), "healthy")
+
+
+def _probe_sim_result(path: Path, payload: dict, repair: bool) -> FsckEntry:
+    """Verify a result-store entry's content address end-to-end.
+
+    The CRC already proved the bytes are what the writer wrote; this
+    proves the writer filed them honestly: the digest re-derived from the
+    embedded canonical request must match both the stored ``identity``
+    and the filename stem. A mismatch is a mislabeled (or tampered) entry
+    — served, it would answer the *wrong* simulation with a perfectly
+    valid checksum — so it is quarantined as corrupt.
+    """
+    from repro.service.identity import fields_digest
+
+    stored = payload.get("identity")
+    request = payload.get("request")
+    if not isinstance(stored, str) or not isinstance(request, dict):
+        return _quarantine_entry(
+            path, "corrupt", "sim-result missing identity/request fields", repair
+        )
+    derived = fields_digest(request)
+    if derived != stored:
+        return _quarantine_entry(
+            path,
+            "corrupt",
+            f"content-address mismatch: stored identity {stored[:12]}… but "
+            f"request digests to {derived[:12]}…",
+            repair,
+        )
+    if path.stem != stored:
+        return _quarantine_entry(
+            path,
+            "corrupt",
+            f"filed under {path.stem[:12]}… but contains result {stored[:12]}…",
+            repair,
+        )
+    if not isinstance(payload.get("payload"), dict):
+        return _quarantine_entry(
+            path, "corrupt", "sim-result payload is not an object", repair
+        )
+    return FsckEntry(str(path), "healthy")
+
+
+def _probe_lease(path: Path, repair: bool) -> Optional[FsckEntry]:
+    """Classify a result-store coalescing lease.
+
+    A lease stamped with a live PID is working state, not an artifact
+    problem — left untouched, like a ``.lock``. One stamped with a dead
+    PID is leftover from a crashed leader: classified ``stale-temp`` and
+    removed on repair (the store's own startup sweep does the same; fsck
+    covers stores no service has reopened yet). An unparseable stamp is
+    left alone — a racing acquirer writes its PID an instant after
+    creating the file, and fsck must never break a live acquisition.
+    """
+    from repro.storage.atomic import pid_alive
+
+    try:
+        holder = int(path.read_text(encoding="ascii").strip())
+    except (OSError, ValueError):
+        return None
+    if pid_alive(holder):
+        return None
+    if not repair:
+        return FsckEntry(
+            str(path), "stale-temp", "none", f"lease holder {holder} is dead"
+        )
+    try:
+        path.unlink()
+        action = "removed"
+    except OSError:
+        action = "failed"
+    return FsckEntry(
+        str(path), "stale-temp", action, f"lease holder {holder} is dead"
+    )
 
 
 def _quarantine_entry(path: Path, status: str, detail: str, repair: bool) -> FsckEntry:
@@ -251,6 +334,8 @@ def fsck_file(path: Union[str, Path], repair: bool = True) -> Optional[FsckEntry
     name = path.name
     if name.endswith(".lock") or ".corrupt" in name:
         return None  # locks and existing quarantine evidence: not ours to touch
+    if name.endswith(".lease"):
+        return _probe_lease(path, repair)
     if ".tmp." in name:
         if repair:
             try:

@@ -107,6 +107,79 @@ class TestCampaign:
         assert plan.disk_read_eio_rate == 0.0
 
 
+class TestShardedCampaign:
+    def test_sharded_campaign_satisfies_the_contract(self, tmp_path):
+        """The combined-fault day routed through the 2-shard front-door:
+        drain contract holds, per-shard journals and the result store
+        come out fsck-clean, and no lease survives the drain."""
+        report, code = run_campaign(
+            small_cfg(shards=2), tmp_path,
+            full_runner=flaky_full, fast_runner=ok_fast,
+        )
+        assert code == 0
+        assert report["contract"]["ok"]
+        assert report["fsck"]["exit_code"] == 0
+        sharding = report["sharding"]
+        assert sharding["shards"] == 2
+        assert sharding["summary"]["submitted"] == 40
+        assert sharding["summary"]["answered"] == 40
+        # Per-shard journals, not one contended file.
+        assert (tmp_path / "journal-s00.jsonl").exists()
+        assert (tmp_path / "journal-s01.jsonl").exists()
+        assert not (tmp_path / "journal.jsonl").exists()
+        # Every full answer that reached the store is addressable…
+        assert (tmp_path / "resultstore").is_dir()
+        # …and the drain released every coalescing lease.
+        leases = tmp_path / "resultstore" / "leases"
+        assert not leases.is_dir() or not list(leases.glob("*.lease"))
+        assert verify_campaign(tmp_path / "campaign.json").ok
+        format_report(report)  # renders the sharding block
+
+    def test_sharded_campaign_reproducible(self, tmp_path):
+        reports = []
+        for sub in ("a", "b"):
+            r, code = run_campaign(
+                small_cfg(seed=5, shards=2), tmp_path / sub,
+                full_runner=ok_full, fast_runner=ok_fast,
+            )
+            assert code == 0
+            reports.append(r)
+        assert json.dumps(reports[0], sort_keys=True) == json.dumps(
+            reports[1], sort_keys=True
+        )
+
+    def test_second_campaign_over_same_store_resimulates_nothing(self, tmp_path):
+        """A recording replayed twice against one campaign directory:
+        pass 2 is pure result-store hits — zero simulations."""
+        from repro.service import SimRequest, TimedRequest, save_recording
+
+        events = [
+            TimedRequest(
+                at_s=i * 0.05,
+                request=SimRequest(
+                    request_id=f"q-{i}", client="c", mix="mix05",
+                    mode="adts", quanta=4, warmup_quanta=1, seed=i % 3,
+                ),
+            )
+            for i in range(12)
+        ]
+        rec = tmp_path / "rec.json"
+        save_recording(rec, events)
+        summaries = []
+        for _ in range(2):
+            report, code = run_campaign(
+                small_cfg(recording=str(rec), fault_rate=0.0, shards=2),
+                tmp_path / "day", full_runner=ok_full, fast_runner=ok_fast,
+            )
+            assert code == 0
+            assert report["breakdown"]["outcomes"] == {"full": 12}
+            summaries.append(report["sharding"]["summary"])
+        cold, warm = summaries
+        assert cold["simulations"] == 3  # one per distinct identity
+        assert warm["simulations"] == 0  # pass 2: all from the store
+        assert warm["cache"]["store_hits"] == 12
+
+
 class TestCheckContract:
     def test_detects_silent_drop_duplicate_and_reasonless(self):
         events = generate_traffic(TrafficSpec(requests=4, duration_s=1.0, seed=0))

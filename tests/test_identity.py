@@ -1,0 +1,147 @@
+"""Request identity: the canonicalization the sharded front-door and the
+result store key on. Two requests asking for the same seeded simulation
+must digest identically no matter how they are spelled (permuted fault
+kinds, int-vs-float numerics, inert mode fields, service-level noise);
+two asking for different simulations must never collide."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import SimRequest
+from repro.service.identity import (
+    canonical_fields,
+    fields_digest,
+    request_identity,
+    shard_of,
+)
+
+
+def req(**kw):
+    defaults = dict(
+        request_id="r1", client="alice", mix="mix05", mode="adts",
+        policy="icount", heuristic="type3", threshold=2.0,
+        quanta=10, warmup_quanta=2, seed=7,
+    )
+    defaults.update(kw)
+    return SimRequest(**defaults)
+
+
+class TestCanonicalization:
+    def test_service_noise_never_splits_identity(self):
+        a = req(request_id="r1", client="alice", priority=0,
+                deadline_s=None, degradable=True)
+        b = req(request_id="r2", client="bob", priority=3,
+                deadline_s=5.0, degradable=False)
+        assert request_identity(a) == request_identity(b)
+
+    def test_permuted_and_duplicated_fault_kinds_collide(self):
+        a = req(fault_kinds=("counters", "dt", "policy"))
+        b = req(fault_kinds=("policy", "counters", "dt", "counters"))
+        assert request_identity(a) == request_identity(b)
+
+    def test_int_float_numeric_spellings_collide(self):
+        assert request_identity(req(threshold=2)) == request_identity(
+            req(threshold=2.0)
+        )
+
+    def test_fixed_mode_ignores_adts_fields(self):
+        a = req(mode="fixed", policy="icount", heuristic="type1", threshold=1.0)
+        b = req(mode="fixed", policy="icount", heuristic="type3", threshold=9.0)
+        assert request_identity(a) == request_identity(b)
+
+    def test_adts_mode_ignores_starting_policy(self):
+        a = req(mode="adts", policy="icount")
+        b = req(mode="adts", policy="rr")
+        assert request_identity(a) == request_identity(b)
+
+    def test_fault_rate_inert_without_fault_kinds(self):
+        a = req(fault_kinds=(), fault_rate=0.0)
+        b = req(fault_kinds=(), fault_rate=0.9)
+        assert request_identity(a) == request_identity(b)
+        # ...but meaningful as soon as any family is enabled.
+        c = req(fault_kinds=("dt",), fault_rate=0.1)
+        d = req(fault_kinds=("dt",), fault_rate=0.2)
+        assert request_identity(c) != request_identity(d)
+
+    def test_simulation_fields_do_split_identity(self):
+        base = request_identity(req())
+        assert request_identity(req(mix="mix01")) != base
+        assert request_identity(req(seed=8)) != base
+        assert request_identity(req(quanta=11)) != base
+        assert request_identity(req(mode="fixed")) != base
+        assert request_identity(req(heuristic="type1")) != base
+        assert request_identity(req(fault_kinds=("dt",))) != base
+
+
+class TestShardOf:
+    def test_stable_and_in_range(self):
+        d = request_identity(req())
+        for n in (1, 2, 3, 7):
+            s = shard_of(d, n)
+            assert 0 <= s < n
+            assert shard_of(d, n) == s
+
+    def test_rejects_zero_shards(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            shard_of("ab" * 32, 0)
+
+
+# -- the hypothesis property --------------------------------------------------
+_SIM = st.fixed_dictionaries(
+    {
+        "mix": st.sampled_from(["mix01", "mix05", "mix09"]),
+        "mode": st.sampled_from(["adts", "fixed"]),
+        "policy": st.sampled_from(["icount", "rr"]),
+        "heuristic": st.sampled_from(["type1", "type3"]),
+        "threshold": st.sampled_from([1, 1.0, 2, 2.5]),
+        "quanta": st.integers(1, 20),
+        "seed": st.integers(0, 5),
+        "fault_kinds": st.lists(
+            st.sampled_from(["counters", "dt", "policy"]), max_size=3
+        ),
+        "fault_rate": st.sampled_from([0.1, 0.2]),
+    }
+)
+_NOISE = st.fixed_dictionaries(
+    {
+        "request_id": st.sampled_from(["a", "b", "c"]),
+        "client": st.sampled_from(["x", "y"]),
+        "priority": st.integers(0, 3),
+        "deadline_s": st.sampled_from([None, 1.0, 60.0]),
+        "degradable": st.booleans(),
+    }
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(sim=_SIM, noise_a=_NOISE, noise_b=_NOISE, shuffle=st.randoms())
+def test_identity_is_canonical(sim, noise_a, noise_b, shuffle):
+    """Permuted-but-equal requests collide; distinct simulations don't.
+
+    The same simulation spelled two ways — different service noise,
+    shuffled fault kinds, int-vs-float numerics — digests identically;
+    perturbing any identity-bearing field changes the digest.
+    """
+    kinds = list(sim["fault_kinds"])
+    shuffled = list(kinds)
+    shuffle.shuffle(shuffled)
+    a = req(**noise_a, **{**sim, "fault_kinds": tuple(kinds)})
+    b = req(
+        **noise_b,
+        **{
+            **sim,
+            "fault_kinds": tuple(shuffled + shuffled),  # permuted + duplicated
+            "threshold": float(sim["threshold"]),
+            "quanta": int(sim["quanta"]),
+        },
+    )
+    assert request_identity(a) == request_identity(b)
+    assert fields_digest(canonical_fields(a)) == request_identity(a)
+
+    # Perturb one field the simulation actually depends on.
+    c = req(**noise_a, **{**sim, "fault_kinds": tuple(kinds), "seed": sim["seed"] + 1})
+    assert request_identity(c) != request_identity(a)
+    d = req(**noise_a, **{**sim, "fault_kinds": tuple(kinds), "quanta": sim["quanta"] + 1})
+    assert request_identity(d) != request_identity(a)

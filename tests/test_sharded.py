@@ -1,0 +1,378 @@
+"""The sharded front-door: identity routing, request coalescing with
+crash-safe leases, leader failure → follower promotion, the durable
+result store behind replay, startup lease sweeps, remote-leader groups,
+and the serve-loop integration. The headline guarantees under test:
+
+* one simulation per identity, no matter how many requests ask for it;
+* every coalesced waiter is answered or refused within its deadline —
+  a dead leader never strands its followers;
+* replaying the same traffic twice against the store yields zero
+  re-simulations on the second pass, byte-identical answers.
+"""
+
+import io
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.service import (
+    ResultStore,
+    ServeLoop,
+    ServiceConfig,
+    ShardedService,
+    SimRequest,
+    VirtualClock,
+    replay_traffic,
+    TimedRequest,
+)
+from repro.service.identity import canonical_fields, request_identity
+
+
+def req(i, *, seed=3, client="c", **kw):
+    defaults = dict(
+        request_id=f"r{i}", client=client, mix="mix05", mode="adts",
+        quanta=5, warmup_quanta=1, seed=seed,
+    )
+    defaults.update(kw)
+    return SimRequest(**defaults)
+
+
+def ok_full(request):
+    return {"ipc": 1.0 + request.seed, "switches": request.seed}
+
+
+def ok_fast(request):
+    return {"ipc": 0.5}
+
+
+def make_front(tmp_path, clock, *, shards=2, store=True, full_runner=ok_full,
+               **cfg_kw):
+    defaults = dict(workers=0, queue_capacity=64,
+                    journal_path=tmp_path / "j.jsonl")
+    defaults.update(cfg_kw)
+    return ShardedService(
+        ServiceConfig(**defaults),
+        shards=shards,
+        store=(tmp_path / "rs") if store else None,
+        full_runner=full_runner,
+        fast_runner=ok_fast,
+        clock=clock,
+    )
+
+
+def settle(front, clock, budget_s=60.0):
+    """Pump to idle under the virtual clock; fails the test on a hang."""
+    deadline = clock() + budget_s
+    while front.pending > 0:
+        front.pump()
+        clock.advance(0.01)
+        assert clock() < deadline, "front-door failed to go idle (hang)"
+    return front.take_completed()
+
+
+class TestCoalescing:
+    def test_one_simulation_fans_out_byte_identical(self, tmp_path):
+        clock = VirtualClock()
+        calls = []
+
+        def counting_full(request):
+            calls.append(request.request_id)
+            return ok_full(request)
+
+        front = make_front(tmp_path, clock, full_runner=counting_full)
+        for i in range(6):
+            front.submit(req(i))  # identical identity
+        front.submit(req(99, seed=4))  # distinct identity
+        responses = settle(front, clock)
+        assert len(calls) == 2  # one per identity, not per request
+        assert len(responses) == 7
+        same = [r for r in responses if r.request_id != "r99"]
+        assert all(r.outcome == "full" for r in same)
+        payloads = {json.dumps(r.payload, sort_keys=True) for r in same}
+        assert len(payloads) == 1  # byte-identical fan-out
+        assert front.counters["coalesced_waiters"] == 5
+        assert front.counters["simulations"] == 2
+
+    def test_waiter_deadline_never_hangs(self, tmp_path):
+        clock = VirtualClock()
+        front = make_front(tmp_path, clock)
+        front.paused = True  # hold the leader in the queue
+        front.submit(req(0))
+        front.submit(req(1, deadline_s=0.05))  # coalesced, tight deadline
+        clock.advance(0.1)
+        front.pump()
+        shed = [r for r in front.take_completed() if r.request_id == "r1"]
+        assert [r.outcome for r in shed] == ["shed"]
+        assert shed[0].reason == "deadline-expired"
+        front.paused = False
+        rest = settle(front, clock)
+        assert [r.request_id for r in rest] == ["r0"]
+        assert rest[0].outcome == "full"
+
+    def test_failed_leader_promotes_follower(self, tmp_path):
+        clock = VirtualClock()
+        failures = {"left": 1}
+
+        def flaky_full(request):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise RuntimeError("synthetic leader crash")
+            return ok_full(request)
+
+        front = make_front(tmp_path, clock, full_runner=flaky_full)
+        for i in range(4):
+            # Non-degradable: a failed leader must fail (and hand off),
+            # not fall back onto the fast model.
+            front.submit(req(i, degradable=False))
+        responses = {r.request_id: r for r in settle(front, clock)}
+        assert len(responses) == 4
+        # The leader's own request reports the failure...
+        assert responses["r0"].outcome == "failed"
+        assert responses["r0"].reason
+        # ...and a promoted follower answers everyone else in full.
+        for rid in ("r1", "r2", "r3"):
+            assert responses[rid].outcome == "full", responses[rid]
+        assert front.counters["promotions"] == 1
+
+    def test_drain_refuses_stranded_waiters_with_reasons(self, tmp_path):
+        clock = VirtualClock()
+
+        def always_failing(request):
+            raise RuntimeError("engine down")
+
+        front = make_front(tmp_path, clock, full_runner=always_failing,
+                           drain_deadline_s=5.0)
+        for i in range(5):
+            front.submit(req(i))
+        clock.auto_advance_s = 0.01
+        stats = front.drain()
+        responses = front.take_completed()
+        assert len(responses) == 5  # conservation: all answered
+        assert all(r.reason for r in responses)  # machine-readable refusals
+        assert stats["inflight"] == 0
+        assert stats["queue_depth"] == 0
+        assert front.pending == 0
+
+
+class TestLeaderCrashRealWorkers:
+    def test_killed_leader_still_answers_every_waiter(self, tmp_path):
+        """SIGKILL the leader mid-simulation (seeded worker-crash fault on
+        attempt 1); the shard's retry answers leader and waiters alike —
+        nobody hangs, everybody gets the full payload."""
+        import time
+
+        front = ShardedService(
+            ServiceConfig(
+                workers=2, queue_capacity=16, max_attempts=2,
+                run_timeout_s=30.0, heartbeat_timeout_s=5.0,
+                journal_path=tmp_path / "j.jsonl",
+            ),
+            shards=2,
+            store=tmp_path / "rs",
+        )
+        try:
+            # rate=1.0: the first quantum boundary of attempt 1 kills the
+            # worker process; the retry strips worker faults and finishes.
+            for i in range(4):
+                front.submit(req(i, quanta=2, fault_kinds=("worker",),
+                                 fault_rate=1.0))
+            deadline = time.monotonic() + 60.0
+            while front.pending > 0:
+                front.pump()
+                assert time.monotonic() < deadline, "waiters hung"
+                time.sleep(0.02)
+            responses = front.take_completed()
+        finally:
+            front.drain(5.0)
+        assert len(responses) == 4
+        assert all(r.outcome == "full" for r in responses), [
+            (r.request_id, r.outcome, r.reason) for r in responses
+        ]
+        payloads = {json.dumps(r.payload, sort_keys=True) for r in responses}
+        assert len(payloads) == 1
+        agg = front.summary()
+        assert agg["shard_restarts"] >= 1  # the crash really happened
+        assert agg["coalescing"]["coalesced_waiters"] == 3
+
+
+class TestResultStoreServing:
+    def test_second_replay_is_pure_store_hits(self, tmp_path):
+        events = [
+            TimedRequest(at_s=i * 0.01, request=req(i, seed=i % 3))
+            for i in range(12)
+        ]
+        first = {}
+        for attempt in ("cold", "warm"):
+            clock = VirtualClock()
+            front = make_front(tmp_path, clock, full_runner=ok_full)
+            responses = replay_traffic(front, events, clock, tick_s=0.05)
+            clock.auto_advance_s = 0.05
+            front.drain()
+            responses.extend(front.take_completed())
+            assert len(responses) == len(events)
+            assert all(r.outcome == "full" for r in responses)
+            if attempt == "cold":
+                assert front.counters["simulations"] == 3  # seeds 0,1,2
+                first = {r.request_id: json.dumps(r.payload, sort_keys=True)
+                         for r in responses}
+            else:
+                # Zero re-simulations: everything from the store, and
+                # byte-identical to the first pass.
+                assert front.counters["simulations"] == 0
+                assert front.counters["store_hits"] == len(events)
+                for r in responses:
+                    assert json.dumps(r.payload, sort_keys=True) == first[
+                        r.request_id
+                    ]
+
+    def test_corrupt_entry_is_resimulated_not_served(self, tmp_path):
+        clock = VirtualClock()
+        front = make_front(tmp_path, clock)
+        front.submit(req(0))
+        settle(front, clock)
+        digest = request_identity(req(0))
+        path = front.store.path_for(digest)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        front2 = make_front(tmp_path, clock)
+        front2.submit(req(1))  # same identity, damaged entry
+        responses = settle(front2, clock)
+        assert [r.outcome for r in responses] == ["full"]
+        assert front2.counters["simulations"] == 1  # re-simulated
+        assert front2.store.counters["corrupt_misses"] == 1
+        assert front2.store.get(digest) is not None  # healed by the re-run
+
+
+class TestLeases:
+    def test_startup_sweep_breaks_dead_leaders(self, tmp_path):
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        store = ResultStore(tmp_path / "rs", shards=2)
+        digest = request_identity(req(0))
+        store.lease_dir.mkdir(parents=True, exist_ok=True)
+        store.lease_path(digest).write_text(str(proc.pid))
+        clock = VirtualClock()
+        front = make_front(tmp_path, clock)  # same root: sweeps at startup
+        assert front.store.counters["stale_leases_broken"] == 1
+        front.submit(req(0))  # digest is leadable again, not remote
+        responses = settle(front, clock)
+        assert [r.outcome for r in responses] == ["full"]
+        assert front.counters["remote_leaders"] == 0
+
+    def test_remote_leader_result_served_from_store(self, tmp_path):
+        clock = VirtualClock()
+        front = make_front(tmp_path, clock)
+        digest = request_identity(req(0))
+        # A live foreign process (our parent) holds the lease.
+        front.store.lease_dir.mkdir(parents=True, exist_ok=True)
+        front.store.lease_path(digest).write_text(str(os.getppid()))
+        front.submit(req(0))
+        front.submit(req(1))
+        front.pump()
+        assert front.counters["remote_leaders"] == 1
+        assert front.counters["simulations"] == 0
+        # The remote leader publishes its result...
+        other = ResultStore(tmp_path / "rs", shards=2)
+        other.put(digest, canonical_fields(req(0)), {"ipc": 9.0})
+        responses = settle(front, clock)
+        assert len(responses) == 2
+        assert all(r.outcome == "full" for r in responses)
+        assert all(r.payload == {"ipc": 9.0} for r in responses)
+        assert front.counters["simulations"] == 0  # never duplicated the work
+
+    def test_stalled_remote_leader_is_broken_and_promoted(self, tmp_path):
+        clock = VirtualClock()
+        front = ShardedService(
+            ServiceConfig(workers=0, journal_path=tmp_path / "j.jsonl"),
+            shards=2,
+            store=tmp_path / "rs",
+            full_runner=ok_full,
+            fast_runner=ok_fast,
+            clock=clock,
+            remote_wait_s=1.0,
+        )
+        digest = request_identity(req(0))
+        front.store.lease_dir.mkdir(parents=True, exist_ok=True)
+        front.store.lease_path(digest).write_text(str(os.getppid()))
+        front.submit(req(0))
+        clock.advance(2.0)  # past remote_wait_s with no published result
+        responses = settle(front, clock)
+        assert [r.outcome for r in responses] == ["full"]
+        assert front.counters["promotions"] == 1
+        assert front.store.counters["lease_breaks"] == 1
+        assert front.counters["simulations"] == 1  # promoted locally
+
+
+class TestServeLoopIntegration:
+    def test_summary_op_and_drained_summary(self, tmp_path):
+        lines = [
+            json.dumps({"op": "submit", "request": {
+                "request_id": f"r{i}", "mix": "mix05", "mode": "adts",
+                "quanta": 4, "warmup_quanta": 1, "seed": 1}})
+            for i in range(3)
+        ] + [json.dumps({"op": "summary"})]
+        infile = io.StringIO("\n".join(lines) + "\n")
+        outfile = io.StringIO()
+        front = make_front(tmp_path, VirtualClock())
+        front.clock = __import__("time").monotonic  # serve paces real time
+        for shard in front.shards:
+            shard.clock = front.clock
+        assert ServeLoop(front, infile=infile, outfile=outfile).run() == 0
+        events = [json.loads(l) for l in outfile.getvalue().splitlines()]
+        ready = next(e for e in events if e["event"] == "ready")
+        assert ready["shards"] == 2
+        summaries = [e for e in events if e["event"] == "summary"]
+        assert summaries and summaries[0]["summary"]["shards"] == 2
+        responses = [e for e in events if e["event"] == "response"]
+        assert len(responses) == 3
+        drained = next(e for e in events if e["event"] == "drained")
+        assert drained["summary"]["submitted"] == 3
+        assert drained["summary"]["answered"] == 3
+        assert (
+            drained["summary"]["coalescing"]["coalesced_waiters"]
+            + drained["summary"]["cache"]["store_hits"]
+            == 2
+        )  # 3 identical requests, one simulation
+
+
+class TestStatsSurface:
+    def test_stats_aggregate_and_per_shard_views(self, tmp_path):
+        clock = VirtualClock()
+        front = make_front(tmp_path, clock, shards=3)
+        for i in range(6):
+            front.submit(req(i, seed=i))
+        settle(front, clock)
+        stats = front.stats()
+        assert stats["queue_depth"] == 0
+        assert stats["inflight"] == 0
+        assert len(stats["shards"]) == 3
+        assert stats["counters"]["front_submitted"] == 6
+        assert stats["counters"]["submitted"] == sum(
+            s["counters"]["submitted"] for s in stats["shards"]
+        )
+        assert stats["breaker"]["state"] == "closed"
+        assert stats["store"]["counters"]["puts"] == 6
+        health = front.health()
+        assert health["ok"] and len(health["shards"]) == 3
+
+    def test_unsharded_summary_same_schema(self, tmp_path):
+        from repro.service import SimulationService
+
+        clock = VirtualClock()
+        svc = SimulationService(
+            ServiceConfig(workers=0), full_runner=ok_full,
+            fast_runner=ok_fast, clock=clock,
+        )
+        svc.submit(req(0))
+        svc.run_until_idle()
+        plain = svc.summary()
+        front = make_front(tmp_path, clock)
+        sharded = front.summary()
+        assert set(plain) == set(sharded)
+        assert set(plain["cache"]) == set(sharded["cache"])
+        assert set(plain["coalescing"]) == set(sharded["coalescing"])
+        assert plain["submitted"] == plain["answered"] == 1
