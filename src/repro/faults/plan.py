@@ -31,7 +31,13 @@ from typing import Sequence
 #: :mod:`repro.storage.faultfs`, not at scheduler boundaries); it never
 #: changes simulation results (artifacts are recovered or regenerated), so
 #: it too is excluded from ``all`` and must be requested by name.
-FAULT_KINDS = ("counters", "dt", "policy", "hangs", "worker", "service", "disk")
+#: ``corruption`` is the silent-data-corruption family (a served result's
+#: summary counters bit-flipped between computation and the front door);
+#: like ``service`` it only has meaning under the serving stack — here the
+#: sharded front door — and is excluded from ``all``.
+FAULT_KINDS = (
+    "counters", "dt", "policy", "hangs", "worker", "service", "corruption", "disk"
+)
 
 #: The families ``--faults all`` (and :meth:`FaultPlan.storm`) enable.
 IN_PROCESS_FAULT_KINDS = ("counters", "dt", "policy", "hangs")
@@ -82,6 +88,14 @@ class FaultPlan:
             supervised pool), pushing the service's circuit breaker toward
             open. Only meaningful under
             :class:`~repro.service.SimulationService`.
+        service_corrupt_result_rate: P(per full-fidelity result crossing
+            the serving front door) one mantissa bit of a summary counter
+            is silently flipped before the payload is served and stored —
+            the serving-layer analogue of ``counter_bitflip_rate``: no
+            crash, no error, just a wrong answer with a valid checksum.
+            Only meaningful under
+            :class:`~repro.service.router.ShardedService`, whose shadow
+            verifier exists to catch exactly this.
         disk_torn_write_rate: P(per storage write) only a prefix of the
             data lands before the write fails (power-loss tear).
         disk_enospc_rate: P(per storage write) the device fills up after
@@ -114,6 +128,7 @@ class FaultPlan:
     worker_hang_seconds: float = 30.0
     service_overload_rate: float = 0.0
     service_breaker_trip_rate: float = 0.0
+    service_corrupt_result_rate: float = 0.0
     disk_torn_write_rate: float = 0.0
     disk_enospc_rate: float = 0.0
     disk_enospc_after_bytes: int = 64
@@ -235,6 +250,8 @@ class FaultPlan:
         if "service" in chosen:
             kw["service_overload_rate"] = rate
             kw["service_breaker_trip_rate"] = rate
+        if "corruption" in chosen:
+            kw["service_corrupt_result_rate"] = rate
         if "disk" in chosen:
             kw["disk_torn_write_rate"] = rate
             kw["disk_enospc_rate"] = rate
@@ -247,7 +264,9 @@ class FaultPlan:
         return cls.from_kinds(["all"], rate=rate, seed=seed)
 
     @classmethod
-    def chaos_day(cls, seed: int = 0, rate: float = 0.1) -> "FaultPlan":
+    def chaos_day(
+        cls, seed: int = 0, rate: float = 0.1, corrupt_rate: float = 0.0
+    ) -> "FaultPlan":
         """The combined-fault campaign preset: every *recoverable* family.
 
         Enables the service family (synthetic overload + forced breaker
@@ -259,12 +278,16 @@ class FaultPlan:
         read-EIO are deliberately *excluded*: they manufacture genuinely
         unrepairable artifacts that ``fsck`` must quarantine, which would
         violate the campaign's "journal fsck-clean afterwards" contract by
-        design rather than by bug.
+        design rather than by bug. ``corrupt_rate`` enables the silent
+        result-corruption family separately: it is only survivable when
+        the campaign also runs shadow verification, so it must be asked
+        for explicitly (``repro chaosday --corrupt-rate``).
         """
         return cls(
             seed=seed,
             service_overload_rate=rate,
             service_breaker_trip_rate=rate,
+            service_corrupt_result_rate=corrupt_rate,
             disk_torn_write_rate=rate,
             disk_enospc_rate=rate,
             disk_rename_fail_rate=rate,

@@ -17,13 +17,22 @@ proof: one seeded campaign drives shaped (or recorded) traffic through a
   the journal by :func:`~repro.storage.faultfs.faultfs_session` — and,
   in sharded campaigns (``shards > 1``), under the content-addressed
   result store as well, so cache corruption and lost puts are part of
-  the proof.
+  the proof;
+* silent result corruption (``corrupt_rate > 0``) flips counter bits in
+  served full-fidelity payloads at the sharded front door — the
+  integrity hazard shadow verification (``verify_rate``) exists to
+  catch; poison-pill identities are parked by the DLQ at
+  ``dlq_threshold`` strikes.
 
 The campaign asserts one machine-checkable **drain contract**: every
 submitted request produced exactly one response; every refusal (rejected /
 shed / failed) carries a machine-readable reason; the artifact tree —
 including the response journal that took disk faults all campaign — is
-fsck-clean (no quarantines) afterwards. The report is written through
+fsck-clean (no quarantines) afterwards. When silent corruption is
+injected the contract additionally folds in the front door's
+**verification audit**: every injected corruption event must have been
+caught (no tainted payload still served from the store) and no
+divergent-marked entry may survive. The report is written through
 ``repro.storage`` as a checksummed ``chaos-campaign`` artifact, and with
 the default inline lockstep mode (``workers=0`` + virtual clock) the
 deterministic portion of the report is a pure function of (config, seed):
@@ -89,6 +98,16 @@ class CampaignConfig:
             content-addressed result store at ``out_dir/resultstore``
             that takes the same disk faults as the journal. 1 (default)
             keeps the single-service path.
+        verify_rate: shadow-verification sampling rate (0 disables).
+            Any non-zero value forces the sharded front-door, which is
+            where the verifier lives.
+        dlq_threshold: engine-failure strikes before an identity is
+            parked in the dead-letter queue (0 disables; also forces
+            the sharded front-door when non-zero).
+        corrupt_rate: seeded silent-corruption injection rate on served
+            full-fidelity results — the hazard verification must catch.
+            Campaigns with ``corrupt_rate > 0`` only pass when the
+            verification audit shows every injected event was caught.
         autoscale_min / autoscale_max: autoscaler bounds (always on —
             a chaos day without scaling pressure isn't one).
         tick_s: virtual-clock step per replay iteration.
@@ -108,6 +127,9 @@ class CampaignConfig:
     request_fault_rate: float = 0.2
     workers: int = 0
     shards: int = 1
+    verify_rate: float = 0.0
+    dlq_threshold: int = 0
+    corrupt_rate: float = 0.0
     autoscale_min: int = 1
     autoscale_max: int = 4
     tick_s: float = 0.05
@@ -132,6 +154,12 @@ class CampaignConfig:
             raise ValueError("tick_s must be positive")
         if not 0.0 <= self.request_fault_fraction <= 1.0:
             raise ValueError("request_fault_fraction must be in [0, 1]")
+        if not 0.0 <= self.verify_rate <= 1.0:
+            raise ValueError("verify_rate must be in [0, 1]")
+        if not 0.0 <= self.corrupt_rate <= 1.0:
+            raise ValueError("corrupt_rate must be in [0, 1]")
+        if self.dlq_threshold < 0:
+            raise ValueError("dlq_threshold must be >= 0")
 
 
 def _campaign_traffic(cfg: CampaignConfig) -> List[TimedRequest]:
@@ -154,7 +182,10 @@ def _campaign_traffic(cfg: CampaignConfig) -> List[TimedRequest]:
 
 
 def check_contract(
-    events: List[TimedRequest], responses: List[SimResponse], stats: dict
+    events: List[TimedRequest],
+    responses: List[SimResponse],
+    stats: dict,
+    audit: Optional[dict] = None,
 ) -> dict:
     """The drain contract, as data.
 
@@ -162,6 +193,12 @@ def check_contract(
     the refusal-reason obligation. ``ok`` is the machine-checkable verdict
     the exit code and :func:`~repro.harness.regression.verify_campaign`
     both key on.
+
+    ``audit`` (a :meth:`~repro.service.ShardedService.verification_audit`
+    result, when the campaign ran the integrity layer) is folded into
+    ``ok``: a campaign that injected silent corruption passes only if
+    every injected event was caught, no divergent-marked store entry
+    survives, and the DLQ still refuses everything it parked.
     """
     submitted = [e.request.request_id for e in events]
     answered: dict = {}
@@ -180,8 +217,9 @@ def check_contract(
         and stats["queue_depth"] == 0
         and stats["inflight"] == 0
         and len(responses) == len(submitted)
+        and (audit is None or bool(audit.get("ok")))
     )
-    return {
+    out = {
         "ok": ok,
         "submitted": len(submitted),
         "answered": len(responses),
@@ -191,6 +229,9 @@ def check_contract(
         "unknown": unknown[:20],
         "refusals_without_reason": refusals_without_reason,
     }
+    if audit is not None:
+        out["verification"] = audit
+    return out
 
 
 def run_campaign(
@@ -214,7 +255,9 @@ def run_campaign(
 
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
-    plan = FaultPlan.chaos_day(seed=cfg.seed, rate=cfg.fault_rate)
+    plan = FaultPlan.chaos_day(
+        seed=cfg.seed, rate=cfg.fault_rate, corrupt_rate=cfg.corrupt_rate
+    )
     events = _campaign_traffic(cfg)
     fingerprint = traffic_fingerprint(events)
 
@@ -245,7 +288,13 @@ def run_campaign(
             cooldown_s=max(cfg.tick_s * 4, 0.2),
         ),
     )
-    if cfg.shards > 1:
+    sharded = (
+        cfg.shards > 1
+        or cfg.verify_rate > 0.0
+        or cfg.dlq_threshold > 0
+        or cfg.corrupt_rate > 0.0
+    )
+    if sharded:
         from repro.service import ShardedService
 
         service = ShardedService(
@@ -255,6 +304,9 @@ def run_campaign(
             full_runner=full_runner,
             fast_runner=fast_runner,
             clock=clock,
+            verify_rate=cfg.verify_rate,
+            verify_seed=cfg.seed,
+            dlq_threshold=cfg.dlq_threshold,
         )
     else:
         service = SimulationService(
@@ -287,7 +339,8 @@ def run_campaign(
         responses.extend(service.take_completed())
         disk_summary = ffs.summary() if ffs is not None else None
 
-    contract = check_contract(events, responses, stats)
+    audit = service.verification_audit() if sharded else None
+    contract = check_contract(events, responses, stats, audit=audit)
     fsck = fsck_tree(out, repair=True)
     fsck_ok = fsck.exit_code == 0
     exit_code = 0 if (contract["ok"] and fsck_ok) else 1
@@ -312,11 +365,16 @@ def run_campaign(
         "autoscaler": stats["autoscaler"],
         "sharding": (
             {"shards": cfg.shards, "summary": service.summary()}
-            if cfg.shards > 1
+            if sharded
             else None
         ),
+        "verification": audit,
         "faults": {
-            "plan": {"seed": plan.seed, "rate": cfg.fault_rate},
+            "plan": {
+                "seed": plan.seed,
+                "rate": cfg.fault_rate,
+                "corrupt_rate": cfg.corrupt_rate,
+            },
             "disk": disk_summary,
         },
         "fsck": {"counts": fsck.counts, "exit_code": fsck.exit_code},
@@ -361,6 +419,18 @@ def format_report(report: dict) -> str:
             f"(store hits {s['cache']['store_hits']}, "
             f"coalesced {s['coalescing']['coalesced_waiters']}, "
             f"promotions {s['coalescing']['promotions']})"
+        )
+    audit = report.get("verification")
+    if audit is not None:
+        c = audit["counters"]
+        dlq = audit.get("dlq") or {}
+        lines.append(
+            f"  integrity: {'OK' if audit['ok'] else 'VIOLATED'} "
+            f"(corrupted {audit['corrupted_injected']}, "
+            f"caught {audit['caught']}, "
+            f"uncaught {len(audit['uncaught'])}, "
+            f"verified {c['verified']}, restored {c['restored']}, "
+            f"dlq parked {dlq.get('parked', 0)})"
         )
     lines.extend(
         [

@@ -46,6 +46,7 @@ import os
 import signal
 import sys
 from dataclasses import replace
+from pathlib import Path
 from typing import List, Optional
 
 from repro.faults import FaultPlan
@@ -329,16 +330,28 @@ def _service_config(args):
 
 def _build_service(args, clock=None):
     """An unsharded service, or the sharded front-door when ``--shards``
-    exceeds 1 or a ``--result-store`` is given (the store is worth having
-    even at one shard: repeats survive restarts)."""
+    exceeds 1, a ``--result-store`` is given (the store is worth having
+    even at one shard: repeats survive restarts), or the integrity layer
+    (``--verify-rate`` / ``--dlq``) is requested — the verifier and the
+    dead-letter queue live in the front door."""
     from repro.service import ShardedService, SimulationService
 
     cfg = _service_config(args)
     shards = getattr(args, "shards", 1)
     store = getattr(args, "result_store", None)
+    verify_rate = getattr(args, "verify_rate", 0.0)
+    dlq_threshold = getattr(args, "dlq", 0)
     kwargs = {"clock": clock} if clock is not None else {}
-    if shards > 1 or store is not None:
-        return ShardedService(cfg, shards=max(1, shards), store=store, **kwargs)
+    if shards > 1 or store is not None or verify_rate > 0 or dlq_threshold > 0:
+        return ShardedService(
+            cfg,
+            shards=max(1, shards),
+            store=store,
+            verify_rate=verify_rate,
+            verify_seed=getattr(args, "seed", 0),
+            dlq_threshold=dlq_threshold,
+            **kwargs,
+        )
     return SimulationService(cfg, **kwargs)
 
 
@@ -484,6 +497,9 @@ def cmd_chaosday(args) -> int:
         fault_rate=args.fault_rate,
         workers=args.workers,
         shards=args.shards,
+        verify_rate=args.verify_rate,
+        dlq_threshold=args.dlq,
+        corrupt_rate=args.corrupt_rate,
         autoscale_min=args.autoscale_min,
         autoscale_max=args.autoscale_max,
         tick_s=args.tick,
@@ -606,6 +622,45 @@ def cmd_fsck(args) -> int:
     else:
         print(report.format_text())
     return report.exit_code
+
+
+def cmd_dlq(args) -> int:
+    """`repro dlq`: manage the poison-pill dead-letter queue.
+
+    ``list`` shows every parked identity with its refusal reason and
+    strike count; ``retry DIGEST`` un-parks one identity so its next
+    submission simulates again (e.g. after an engine fix); ``purge``
+    drops every entry. Operates on the DLQ directory under a result
+    store (``<store>/dlq``), the same one a front door started with
+    ``--result-store`` uses — entries parked by a service are visible
+    here after it exits, and retries here are honored by the next one.
+    """
+    from repro.service import DeadLetterQueue
+
+    root = Path(args.store) / "dlq"
+    dlq = DeadLetterQueue(root)
+    if args.action == "list":
+        entries = dlq.entries()
+        if args.json:
+            print(json.dumps({"root": str(root), "entries": entries},
+                             indent=2, sort_keys=True, default=str))
+        elif not entries:
+            print(f"dlq empty ({root})")
+        else:
+            for e in entries:
+                print(f"{e['identity']}  {e.get('reason', '?')}  "
+                      f"strikes={len(e.get('attempts', []))}")
+        return 0
+    if args.action == "retry":
+        if not args.digest:
+            print("retry requires a DIGEST", file=sys.stderr)
+            return 2
+        ok = dlq.retry(args.digest)
+        print(f"{'retried' if ok else 'not parked'}: {args.digest}")
+        return 0 if ok else 1
+    removed = dlq.purge()
+    print(f"purged {removed} entr{'y' if removed == 1 else 'ies'}")
+    return 0
 
 
 def cmd_mixes(args) -> None:
@@ -754,6 +809,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "repeated requests are answered from disk, "
                             "byte-identical, across restarts (enables the "
                             "sharded front-door even with --shards 1)")
+        p.add_argument("--verify-rate", type=float, default=0.0,
+                       metavar="RATE",
+                       help="shadow-verify this seeded fraction of served "
+                            "full-fidelity results by re-executing them on "
+                            "another shard; divergent results are "
+                            "quarantined and re-run best-2-of-3 (enables "
+                            "the sharded front-door)")
+        p.add_argument("--dlq", type=int, default=0, metavar="STRIKES",
+                       help="park an identity in the dead-letter queue "
+                            "after this many engine failures across "
+                            "retries and shards; parked identities get an "
+                            "immediate dlq-parked:<kind> refusal "
+                            "(0 disables; enables the sharded front-door)")
         p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser("serve",
@@ -804,6 +872,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="> 1 = run the campaign through the sharded "
                         "front-door (coalescing, leases, and a result "
                         "store at OUT/resultstore under disk faults)")
+    p.add_argument("--verify-rate", type=float, default=0.0,
+                   help="shadow-verification sampling rate (> 0 implies "
+                        "the sharded front-door)")
+    p.add_argument("--dlq", type=int, default=0, metavar="STRIKES",
+                   help="dead-letter-queue parking threshold (> 0 implies "
+                        "the sharded front-door; 0 disables)")
+    p.add_argument("--corrupt-rate", type=float, default=0.0,
+                   help="inject seeded silent corruption into this "
+                        "fraction of served results; the campaign then "
+                        "passes only if verification caught every event")
     p.add_argument("--autoscale-min", type=int, default=1)
     p.add_argument("--autoscale-max", type=int, default=4)
     p.add_argument("--tick", type=float, default=0.05)
@@ -847,6 +925,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", action="store_true", help="emit JSON")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("dlq", help="manage the poison-pill dead-letter queue")
+    p.add_argument("action", choices=("list", "retry", "purge"),
+                   help="list parked identities, un-park one, or drop all")
+    p.add_argument("digest", nargs="?", default=None,
+                   help="identity digest (required for retry)")
+    p.add_argument("--store", required=True, metavar="DIR",
+                   help="result-store directory whose dlq/ to manage")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable listings")
+    p.set_defaults(func=cmd_dlq)
 
     p = sub.add_parser("fsck", help="audit and repair an artifact tree")
     p.add_argument("root", nargs="?", default=".",

@@ -548,6 +548,13 @@ class SupervisedExecutor:
             exc if exc is not None else RuntimeError(detail)
         )
 
+    def failures_for(self, labels) -> List[dict]:
+        """Restart telemetry for the given work-item labels, in record
+        order. The front door's dead-letter queue uses this to attach each
+        crash/hang exactly as the supervisor saw it to a parked entry."""
+        wanted = set(labels)
+        return [dict(f) for f in self.failures if f["label"] in wanted]
+
     def _on_failure(self, item: WorkItem, attempt: int) -> float:
         """Decide retry-or-raise for a failed attempt.
 

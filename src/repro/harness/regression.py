@@ -124,7 +124,10 @@ def verify_campaign(path: Union[str, pathlib.Path]) -> RegressionReport:
     fails the build with the same machinery (and the same readable output)
     the goldens gate uses. Clauses checked: campaign exit code 0, contract
     ``ok``, zero unaccounted requests, zero reasonless refusals, and an
-    fsck pass that quarantined nothing.
+    fsck pass that quarantined nothing. Campaigns that ran the integrity
+    layer (a ``verification`` block is present) additionally must show a
+    passing audit: zero uncaught corruption events and zero surviving
+    divergent entries.
     """
     from repro.storage import ArtifactError, load_json_artifact
 
@@ -154,6 +157,18 @@ def verify_campaign(path: Union[str, pathlib.Path]) -> RegressionReport:
             report.mismatches.append(
                 Mismatch(name, where, expected, actual, "value")
             )
+    audit = doc.get("verification")
+    if audit is not None:
+        audit_checks = (
+            ("$.verification.ok", True, audit.get("ok")),
+            ("$.verification.uncaught", 0, len(audit.get("uncaught", []))),
+            ("$.verification.live_divergent", 0, audit.get("live_divergent")),
+        )
+        for where, expected, actual in audit_checks:
+            if actual != expected:
+                report.mismatches.append(
+                    Mismatch(name, where, expected, actual, "value")
+                )
     answered = contract.get("answered")
     submitted = contract.get("submitted")
     if answered != submitted:

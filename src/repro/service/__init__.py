@@ -59,8 +59,18 @@ from repro.service.identity import (
     request_identity,
     shard_of,
 )
-from repro.service.resultstore import ResultStore
+from repro.service.dlq import DeadLetterQueue
+from repro.service.resultstore import (
+    INTEGRITY_UNVERIFIED,
+    INTEGRITY_VERIFIED,
+    ResultStore,
+)
 from repro.service.router import ShardedService
+from repro.service.verify import (
+    ShadowVerifier,
+    VERIFY_COUNTERS,
+    payload_digest,
+)
 from repro.service.server import ServeLoop
 from repro.service.service import ServiceConfig, SimulationService
 
@@ -71,10 +81,15 @@ __all__ = [
     "AutoscalingPool",
     "BurstSpec",
     "CircuitBreaker",
+    "DeadLetterQueue",
     "IDENTITY_SCHEME",
+    "INTEGRITY_UNVERIFIED",
+    "INTEGRITY_VERIFIED",
     "QueueEntry",
     "ResultStore",
+    "ShadowVerifier",
     "ShardedService",
+    "VERIFY_COUNTERS",
     "REASON_CLIENT_QUOTA",
     "REASON_QUEUE_FULL",
     "STATE_CLOSED",
@@ -99,6 +114,7 @@ __all__ = [
     "generate_burst",
     "generate_traffic",
     "load_recording",
+    "payload_digest",
     "replay_realtime",
     "replay_traffic",
     "request_identity",

@@ -62,8 +62,25 @@ log = logging.getLogger("repro.resultstore")
 RESULT_FORMAT = "sim-result"
 RESULT_VERSION = 1
 
+#: Storage-artifact identity of one divergence-quarantine evidence doc.
+DIVERGENCE_FORMAT = "sim-divergence"
+DIVERGENCE_VERSION = 1
+
 #: Lease-file suffix (``repro fsck`` knows it; see storage/fsck.py).
 LEASE_SUFFIX = ".lease"
+
+#: Suffix of quarantined divergent entries (evidence, never served).
+DIVERGENT_SUFFIX = ".divergent"
+
+#: Integrity lifecycle of a live entry. ``unverified`` — stored as
+#: produced, never independently re-executed; ``verified`` — a shadow
+#: re-execution on another shard reproduced the same summary digest.
+#: ``divergent`` never appears on a live entry: divergence *evicts* the
+#: entry into a ``*.divergent`` evidence document (both conflicting
+#: payloads preserved), and the digest misses until re-simulated.
+INTEGRITY_UNVERIFIED = "unverified"
+INTEGRITY_VERIFIED = "verified"
+INTEGRITY_STATUSES = (INTEGRITY_UNVERIFIED, INTEGRITY_VERIFIED)
 
 #: Stable counter names reported by :meth:`ResultStore.stats`.
 STORE_COUNTERS = (
@@ -72,6 +89,9 @@ STORE_COUNTERS = (
     "corrupt_misses",
     "puts",
     "put_errors",
+    "verified_marks",
+    "divergent_quarantines",
+    "integrity_evictions",
     "lease_breaks",
     "stale_leases_broken",
 )
@@ -141,10 +161,50 @@ class ResultStore:
                 path, doc.get("identity"), dest,
             )
             return None
+        if doc.get("integrity", INTEGRITY_UNVERIFIED) not in INTEGRITY_STATUSES:
+            # A live entry may only be unverified or verified. Anything
+            # else (a stray "divergent", tampering) is untrustworthy.
+            self.counters["corrupt_misses"] += 1
+            dest = quarantine(path)
+            log.warning(
+                "%s: invalid integrity status %r; quarantined to %s",
+                path, doc.get("integrity"), dest,
+            )
+            return None
         self.counters["hits"] += 1
         return payload
 
-    def put(self, digest: str, request_fields: dict, payload: dict) -> bool:
+    def peek(self, digest: str) -> Optional[dict]:
+        """The stored payload without counters, quarantine, or validation
+        side effects — audit use only (e.g. the chaos-day campaign's
+        silent-corruption audit). Never use this to *serve*."""
+        try:
+            _, doc = load_json_artifact(
+                self.path_for(digest), expect_format=RESULT_FORMAT
+            )
+        except (FileNotFoundError, ArtifactError, OSError, ValueError):
+            return None
+        payload = doc.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def integrity_of(self, digest: str) -> Optional[str]:
+        """The live entry's integrity status, or None when absent/bad."""
+        try:
+            _, doc = load_json_artifact(
+                self.path_for(digest), expect_format=RESULT_FORMAT
+            )
+        except (FileNotFoundError, ArtifactError, OSError, ValueError):
+            return None
+        status = doc.get("integrity", INTEGRITY_UNVERIFIED)
+        return status if isinstance(status, str) else None
+
+    def put(
+        self,
+        digest: str,
+        request_fields: dict,
+        payload: dict,
+        integrity: str = INTEGRITY_UNVERIFIED,
+    ) -> bool:
         """Durably store ``payload`` under ``digest``; returns success.
 
         The canonical request fields ride inside the document so ``repro
@@ -152,8 +212,17 @@ class ResultStore:
         A failed write (ENOSPC past retries, injected fault) is absorbed
         and counted: one lost entry costs one future re-simulation.
         """
+        if integrity not in INTEGRITY_STATUSES:
+            raise ValueError(
+                f"integrity {integrity!r}: must be one of {INTEGRITY_STATUSES}"
+            )
         doc = embed_json_artifact(
-            {"identity": digest, "request": request_fields, "payload": payload},
+            {
+                "identity": digest,
+                "request": request_fields,
+                "payload": payload,
+                "integrity": integrity,
+            },
             RESULT_FORMAT,
             RESULT_VERSION,
         )
@@ -179,6 +248,134 @@ class ResultStore:
             for seg in self.root.glob("shard-*")
             for p in seg.glob("*.json")
         )
+
+    # -- integrity -----------------------------------------------------------
+    def divergent_path(self, digest: str) -> Path:
+        """Where ``digest``'s divergence evidence is quarantined."""
+        return self.segment(digest) / f"{digest}.json{DIVERGENT_SUFFIX}"
+
+    def mark_verified(self, digest: str) -> bool:
+        """Promote a live entry ``unverified`` → ``verified`` (a shadow
+        re-execution reproduced its digest). Atomic rewrite; best-effort
+        — a failed promotion leaves a perfectly servable unverified entry.
+        """
+        path = self.path_for(digest)
+        try:
+            _, doc = load_json_artifact(path, expect_format=RESULT_FORMAT)
+        except (FileNotFoundError, ArtifactError, OSError, ValueError):
+            return False
+        request = doc.get("request")
+        payload = doc.get("payload")
+        if not isinstance(request, dict) or not isinstance(payload, dict):
+            return False
+        if self.put(digest, request, payload, integrity=INTEGRITY_VERIFIED):
+            self.counters["verified_marks"] += 1
+            return True
+        return False
+
+    def quarantine_divergent(
+        self,
+        digest: str,
+        request_fields: dict,
+        *,
+        primary_payload: dict,
+        shadow_payload: dict,
+        detail: str = "",
+    ) -> Optional[Path]:
+        """Evict ``digest`` and quarantine *both* conflicting results.
+
+        The live entry is replaced by a ``*.divergent`` evidence document
+        holding the served (primary) payload and the shadow re-execution's
+        payload side by side — post-mortem material, never servable (the
+        suffix is not content-addressed and every read path ignores it).
+        From this call on the digest is a miss until a fresh simulation
+        re-stores it. Returns the evidence path, or None when even the
+        evidence write failed (the eviction still happens: serving a
+        suspect entry is worse than forgetting why it was suspect).
+        """
+        evidence = {
+            "identity": digest,
+            "request": request_fields,
+            "primary": primary_payload,
+            "shadow": shadow_payload,
+            "detail": detail,
+        }
+        doc = embed_json_artifact(evidence, DIVERGENCE_FORMAT, DIVERGENCE_VERSION)
+        blob = (json.dumps(doc, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        dest: Optional[Path] = self.divergent_path(digest)
+        try:
+            atomic_write_bytes(dest, blob)
+        except StorageError as exc:
+            log.warning("%s: divergence evidence not written (%s)", dest, exc)
+            dest = None
+        try:
+            os.unlink(self.path_for(digest))
+        except FileNotFoundError:
+            pass  # already evicted (e.g. a racing quarantine) — idempotent
+        except OSError as exc:
+            log.warning(
+                "%s: could not evict divergent entry (%s)",
+                self.path_for(digest), exc,
+            )
+        self.counters["divergent_quarantines"] += 1
+        log.warning(
+            "%s: divergent result quarantined (%s); digest evicted",
+            digest[:12], detail or "no detail",
+        )
+        return dest
+
+    def evict(self, digest: str) -> bool:
+        """Drop ``digest``'s live entry without quarantine or evidence.
+
+        The fail-safe path for an entry that *might* be wrong but was
+        never proven so — e.g. a sampled result whose shadow re-execution
+        could not answer (shed under load, refused while draining). The
+        next request simply re-simulates; nothing suspect stays servable.
+        Returns True when an entry was removed.
+        """
+        try:
+            os.unlink(self.path_for(digest))
+        except FileNotFoundError:
+            return False
+        except OSError as exc:
+            log.warning("%s: entry not evicted (%s)", self.path_for(digest), exc)
+            return False
+        self.counters["integrity_evictions"] += 1
+        return True
+
+    def integrity_summary(self) -> Dict[str, int]:
+        """Integrity census of the whole store: live entries per status
+        (plus ``invalid`` for unreadable/garbage statuses) and the count
+        of quarantined ``*.divergent`` evidence files. The chaos-day
+        contract requires ``divergent_live == 0`` — divergence must always
+        have evicted."""
+        out = {
+            INTEGRITY_UNVERIFIED: 0,
+            INTEGRITY_VERIFIED: 0,
+            "invalid": 0,
+            "divergent_live": 0,
+            "divergent_evidence": 0,
+        }
+        if not self.root.is_dir():
+            return out
+        for seg in sorted(self.root.glob("shard-*")):
+            out["divergent_evidence"] += sum(
+                1 for _ in seg.glob(f"*{DIVERGENT_SUFFIX}")
+            )
+            for path in sorted(seg.glob("*.json")):
+                try:
+                    _, doc = load_json_artifact(path, expect_format=RESULT_FORMAT)
+                except (ArtifactError, OSError, ValueError):
+                    out["invalid"] += 1
+                    continue
+                status = doc.get("integrity", INTEGRITY_UNVERIFIED)
+                if status in INTEGRITY_STATUSES:
+                    out[status] += 1
+                elif status == "divergent":
+                    out["divergent_live"] += 1
+                else:
+                    out["invalid"] += 1
+        return out
 
     # -- leases --------------------------------------------------------------
     def acquire_lease(self, digest: str) -> bool:
@@ -255,6 +452,13 @@ class ResultStore:
         nothing of ours is mid-acquisition, and a crash between lease
         creation and PID stamping would otherwise block its digest
         forever. Returns the number of leases broken.
+
+        Concurrent-sweeper safe: two front doors restarting over one
+        store race this sweep file-by-file. A lease that vanishes between
+        the directory scan and the unlink (FileNotFoundError at either
+        step) was broken by the other sweeper — that is *success* for
+        both of them (the dead lease is gone), counted by exactly the one
+        whose unlink landed. Neither sweeper ever raises.
         """
         if not self.lease_dir.is_dir():
             return 0
@@ -263,13 +467,18 @@ class ResultStore:
             try:
                 stamp = path.read_text(encoding="ascii").strip()
                 holder: Optional[int] = int(stamp)
+            except FileNotFoundError:
+                continue  # a concurrent sweeper already broke it
             except (OSError, ValueError):
                 holder = None
             if holder is not None and pid_alive(holder):
                 continue
             try:
                 path.unlink()
-            except OSError:
+            except FileNotFoundError:
+                continue  # lost the unlink race: idempotent success, not ours to count
+            except OSError as exc:
+                log.warning("%s: stale lease not removed (%s)", path, exc)
                 continue
             broken += 1
             log.warning(

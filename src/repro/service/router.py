@@ -47,16 +47,20 @@ hits: zero re-simulations, byte-identical answers.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.harness.errors import (
+    FAILURE_KINDS,
     OUTCOME_DEGRADED,
+    OUTCOME_FAILED,
     OUTCOME_FULL,
     ConfigError,
 )
+from repro.service.dlq import DeadLetterQueue
 from repro.service.identity import (
     canonical_fields,
     request_identity,
@@ -71,6 +75,12 @@ from repro.service.request import (
 )
 from repro.service.resultstore import ResultStore
 from repro.service.service import ServiceConfig, SimulationService
+from repro.service.verify import (
+    ShadowVerifier,
+    VERIFY_COUNTERS,
+    corrupt_payload,
+    payload_digest,
+)
 
 #: Front-door counter names (shard counters are aggregated separately).
 FRONT_COUNTER_NAMES = (
@@ -84,6 +94,10 @@ FRONT_COUNTER_NAMES = (
     "promotions",
     "remote_leaders",
     "simulations",
+    "results_corrupted",
+    "dlq_strikes",
+    "dlq_parked",
+    "dlq_refused",
 )
 
 #: Severity order for aggregating per-shard breaker states.
@@ -141,11 +155,17 @@ class ShardedService:
         fast_runner: Optional[Callable[[SimRequest], dict]] = None,
         clock: Callable[[], float] = time.monotonic,
         remote_wait_s: float = 30.0,
+        verify_rate: float = 0.0,
+        verify_seed: Optional[int] = None,
+        dlq_threshold: int = 0,
+        dlq_dir: Union[str, Path, None] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if remote_wait_s <= 0:
             raise ValueError("remote_wait_s must be positive")
+        if dlq_threshold < 0:
+            raise ValueError("dlq_threshold must be >= 0")
         self.config = config or ServiceConfig()
         self.clock = clock
         self.remote_wait_s = remote_wait_s
@@ -171,6 +191,36 @@ class ShardedService:
         self._accepting = True
         self._draining = False
         self._paused = False
+        plan = self.config.fault_plan
+        plan_seed = plan.seed if plan is not None else 0
+        # Silent-corruption injection (chaos campaigns): a seeded draw per
+        # full-fidelity result crossing the front door flips one mantissa
+        # bit before the payload is served and stored. The injector keeps
+        # a private ledger of tainted digests so verification_audit() can
+        # prove every event was later caught — the serving path itself
+        # never sees the ledger (that would not be *silent*).
+        self._corrupt_rate = (
+            plan.service_corrupt_result_rate if plan is not None else 0.0
+        )
+        self._corrupt_rng = random.Random(f"corrupt-result:{plan_seed}")
+        self._tainted: Dict[str, str] = {}  # digest -> corrupt payload sha
+        self.verifier: Optional[ShadowVerifier] = None
+        if verify_rate > 0.0:
+            self.verifier = ShadowVerifier(
+                rate=verify_rate,
+                seed=verify_seed if verify_seed is not None else plan_seed,
+                shards=shards,
+                store=self.store,
+                dispatch=lambda index, probe: self.shards[index].submit(probe),
+            )
+        self.dlq_threshold = int(dlq_threshold)
+        self.dlq: Optional[DeadLetterQueue] = None
+        if self.dlq_threshold > 0:
+            root = dlq_dir
+            if root is None and self.store is not None:
+                root = self.store.root / "dlq"
+            self.dlq = DeadLetterQueue(root)
+        self._strikes: Dict[str, List[dict]] = {}  # digest -> strike history
         if self.store is not None:
             # A predecessor that crashed mid-simulation left its leases
             # behind; break them now (dead/unstamped holders only) rather
@@ -226,9 +276,12 @@ class ShardedService:
 
     @property
     def pending(self) -> int:
-        """Queued + in-flight + coalesced work still owing a response."""
+        """Queued + in-flight + coalesced work still owing a response
+        (plus verification probes the pump must still resolve)."""
         return (
-            sum(s.pending for s in self.shards) + len(self._groups)
+            sum(s.pending for s in self.shards)
+            + len(self._groups)
+            + (self.verifier.inflight if self.verifier is not None else 0)
         )
 
     # -- admission -----------------------------------------------------------
@@ -250,6 +303,12 @@ class ShardedService:
         except ConfigError as exc:
             return self._refuse(request, f"invalid-request: {exc}")
         digest = request_identity(request)
+        if self.dlq is not None and self.dlq.is_parked(digest):
+            # A parked poison pill: answer with the machine-readable
+            # refusal instead of burning another worker (or hanging a
+            # coalesced waiter behind an identity that never completes).
+            self.counters["dlq_refused"] += 1
+            return self._refuse(request, self.dlq.refusal_reason(digest))
         if self.store is not None:
             payload = self.store.get(digest)
             if payload is not None:
@@ -318,6 +377,11 @@ class ShardedService:
                 self._route_response(response, now)
 
     def _route_response(self, response: SimResponse, now: float) -> None:
+        if self.verifier is not None and self.verifier.owns(response.request_id):
+            # Internal re-execution probe: consumed by the verifier, never
+            # surfaced — invisible to the request-conservation contract.
+            self.verifier.on_response(response)
+            return
         digest = self._leader_rid.pop(response.request_id, None)
         group = self._groups.get(digest) if digest is not None else None
         if group is None or group.leader_rid != response.request_id:
@@ -330,10 +394,24 @@ class ShardedService:
     ) -> None:
         digest = group.digest
         if response.outcome == OUTCOME_FULL and response.payload is not None:
+            payload = response.payload
+            if (
+                self._corrupt_rate > 0.0
+                and self._accepting
+                and self._corrupt_rng.random() < self._corrupt_rate
+            ):
+                # Injected silent corruption: the result crossing from the
+                # compute tier to the serving tier is altered *after* the
+                # shard journal recorded the clean value — the store, the
+                # requester and every coalesced waiter all see the lie.
+                bad = corrupt_payload(payload, self._corrupt_rng)
+                if bad is not None:
+                    payload = bad
+                    self.counters["results_corrupted"] += 1
+                    self._tainted[digest] = payload_digest(bad)
+                    response = replace(response, payload=payload)
             if self.store is not None and group.leader is not None:
-                self.store.put(
-                    digest, canonical_fields(group.leader), response.payload
-                )
+                self.store.put(digest, canonical_fields(group.leader), payload)
                 self.store.release_lease(digest)
             del self._groups[digest]
             self._respond(response)
@@ -344,13 +422,20 @@ class ShardedService:
                         client=w.request.client,
                         outcome=OUTCOME_FULL,
                         tier=TIER_FULL,
-                        payload=response.payload,
+                        payload=payload,
                         attempts=response.attempts,
                         wait_s=now - w.enqueued_at,
                     )
                 )
+            if (
+                self.verifier is not None
+                and group.leader is not None
+                and self.verifier.wants(digest)
+            ):
+                self.verifier.start(digest, group.leader, payload, group.shard)
             return
         self._respond(response)  # the leader's own (non-full) answer
+        parked = self._note_strike(group, response)
         if response.outcome == OUTCOME_DEGRADED and response.payload is not None:
             # The shard chose the degradation ladder for this simulation;
             # a promotion storm would re-run the very pressure that caused
@@ -371,6 +456,24 @@ class ShardedService:
                     )
                 )
             return
+        if parked:
+            # The strike that crossed the DLQ threshold: stop feeding this
+            # identity workers. Current waiters get the machine-readable
+            # refusal now; future submissions are refused at the door.
+            self._dissolve(group)
+            for w in group.waiters:
+                self.counters["waiter_refusals"] += 1
+                self._respond(
+                    SimResponse(
+                        request_id=w.request.request_id,
+                        client=w.request.client,
+                        outcome="failed",
+                        tier=TIER_NONE,
+                        reason=f"coalesced:{self.dlq.refusal_reason(group.digest)}",
+                        wait_s=now - w.enqueued_at,
+                    )
+                )
+            return
         # The leader died or was refused (crash / timeout / stalled /
         # rejected / shed / failed): promote a follower so the group gets
         # another chance at a real answer. The lease stays with us.
@@ -378,6 +481,12 @@ class ShardedService:
             promoted = group.waiters.pop(0)
             group.promotions += 1
             self.counters["promotions"] += 1
+            if response.outcome == OUTCOME_FAILED and len(self.shards) > 1:
+                # The full engine died on this shard; try the follower on
+                # the next one. If the identity itself is poison it will
+                # fail *there too* — exactly the cross-shard evidence the
+                # DLQ needs to rule out a sick host.
+                group.shard = (group.shard + 1) % len(self.shards)
             group.leader_rid = promoted.request.request_id
             group.leader = promoted.request
             self._leader_rid[promoted.request.request_id] = group.digest
@@ -387,6 +496,70 @@ class ShardedService:
         self._dissolve(group)
         for w in group.waiters:  # draining: refuse, never hang
             self._refuse_waiter(w, response, now)
+
+    # -- poison-pill accounting ----------------------------------------------
+    @staticmethod
+    def _failure_kind(response: SimResponse) -> Optional[str]:
+        """Extract the engine-failure kind a leader response evidences.
+
+        A ``failed`` leader carries ``"<kind>: <detail>"`` (or bare kind)
+        from the shard's failure path; a ``degraded`` leader whose reason
+        is ``full-tier-failed:<kind>`` means the full engine died and the
+        ladder saved the answer — still a strike against the identity.
+        Anything outside the FAILURE_KINDS taxonomy (admission rejections,
+        deadline sheds, policy refusals) is not engine evidence.
+        """
+        kind: Optional[str] = None
+        reason = response.reason or ""
+        if response.outcome == OUTCOME_FAILED:
+            kind = reason.split(":", 1)[0].strip()
+        elif response.outcome == OUTCOME_DEGRADED and reason.startswith(
+            "full-tier-failed:"
+        ):
+            kind = reason.split(":", 1)[1].strip()
+        return kind if kind in FAILURE_KINDS else None
+
+    def _note_strike(self, group: _Group, response: SimResponse) -> bool:
+        """Record one engine-failure strike; park at threshold.
+
+        Returns True when this strike parked the digest (the caller then
+        refuses the group's waiters instead of promoting one).
+        """
+        kind = self._failure_kind(response)
+        if kind is None:
+            return False
+        strikes = self._strikes.setdefault(group.digest, [])
+        strikes.append(
+            {
+                "shard": group.shard,
+                "request_id": response.request_id,
+                "kind": kind,
+                "reason": response.reason,
+                "attempts": response.attempts,
+            }
+        )
+        self.counters["dlq_strikes"] += 1
+        if (
+            self.dlq is None
+            or len(strikes) < self.dlq_threshold
+            or self.dlq.is_parked(group.digest)
+            or group.leader is None
+        ):
+            return False
+        # Enrich the strike history with the supervised executors' own
+        # restart telemetry for these request_ids: the parked artifact
+        # records not just "it failed" but each crash/hang as the worker
+        # supervisor saw it.
+        rids = {s["request_id"] for s in strikes}
+        attempts = list(strikes)
+        for shard in self.shards:
+            if shard.executor is None:
+                continue
+            for f in shard.executor.failures_for(rids):
+                attempts.append({"source": "executor", **f})
+        self.dlq.park(group.digest, canonical_fields(group.leader), kind, attempts)
+        self.counters["dlq_parked"] += 1
+        return True
 
     def _dissolve(self, group: _Group) -> None:
         self._groups.pop(group.digest, None)
@@ -546,6 +719,19 @@ class ShardedService:
         for shard in self.shards:
             shard.drain(max(0.0, deadline - self.clock()))
         self._collect(self.clock())
+        if self.verifier is not None:
+            # Shadow probes dispatched into now-draining shards come back
+            # as refusals; give the pump a few rounds to collect them,
+            # then count whatever never answered as inconclusive — drain
+            # must not hang on verification.
+            for _ in range(3):
+                if self.verifier.inflight == 0:
+                    break
+                for shard in self.shards:
+                    shard.pump()
+                self._collect(self.clock())
+            if self.verifier.inflight:
+                self.verifier.abandon_all()
         now = self.clock()
         for digest in list(self._groups):
             group = self._groups.pop(digest)
@@ -611,6 +797,10 @@ class ShardedService:
             "breaker_transitions": transitions,
             "autoscaler": autoscaler,
             "store": self.store.stats() if self.store is not None else None,
+            "verification": (
+                dict(self.verifier.counters) if self.verifier is not None else None
+            ),
+            "dlq": self.dlq.stats() if self.dlq is not None else None,
         }
 
     def summary(self) -> dict:
@@ -639,6 +829,73 @@ class ShardedService:
             },
             "simulations": self.counters["simulations"],
             "shard_restarts": agg.get("full_failures", 0),
+            "verification": {
+                **(
+                    dict(self.verifier.counters)
+                    if self.verifier is not None
+                    else {n: 0 for n in VERIFY_COUNTERS}
+                ),
+                "corrupted_injected": self.counters["results_corrupted"],
+            },
+            "dlq": {
+                "strikes": self.counters["dlq_strikes"],
+                "parked": self.counters["dlq_parked"],
+                "refused": self.counters["dlq_refused"],
+            },
+        }
+
+    def verification_audit(self) -> dict:
+        """Did the integrity layer catch every injected corruption?
+
+        Compares the injector's private tainted-digest ledger against what
+        the store still serves: a digest whose live payload hashes to the
+        corrupt sha it was tainted with is an **uncaught** silent
+        corruption. A tainted digest is **neutralized** when the store no
+        longer serves the corrupt bytes — either *caught* (proven
+        divergent, quarantined into evidence) or fail-safe evicted (its
+        shadow could not answer, so the entry was dropped rather than
+        trusted). Chaos-day's contract folds ``ok`` in, so a campaign with
+        corruption injected only passes when every event was neutralized
+        and no divergent-marked entry survives.
+        """
+        uncaught: List[str] = []
+        if self.store is not None:
+            for digest, bad_sha in sorted(self._tainted.items()):
+                live = self.store.peek(digest)
+                if live is not None and payload_digest(live) == bad_sha:
+                    uncaught.append(digest)
+        integ = (
+            self.store.integrity_summary() if self.store is not None else {}
+        )
+        live_divergent = integ.get("divergent_live", 0) + integ.get("invalid", 0)
+        dlq_ok = True
+        dlq_view: Optional[dict] = None
+        if self.dlq is not None:
+            # Every in-session park must still be visible (and refusable).
+            dlq_ok = len(self.dlq) >= self.counters["dlq_parked"]
+            dlq_view = {
+                "ok": dlq_ok,
+                "parked": len(self.dlq),
+                "parked_this_run": self.counters["dlq_parked"],
+                "refused": self.counters["dlq_refused"],
+            }
+        return {
+            "ok": not uncaught and live_divergent == 0 and dlq_ok,
+            "corrupted_injected": self.counters["results_corrupted"],
+            "caught": (
+                len(self.verifier.quarantined) if self.verifier is not None else 0
+            ),
+            "uncaught": uncaught,
+            "tainted_digests": len(self._tainted),
+            "neutralized": len(self._tainted) - len(uncaught),
+            "live_divergent": live_divergent,
+            "integrity": integ,
+            "counters": (
+                dict(self.verifier.counters)
+                if self.verifier is not None
+                else {n: 0 for n in VERIFY_COUNTERS}
+            ),
+            "dlq": dlq_view,
         }
 
     def health(self) -> dict:

@@ -751,6 +751,16 @@ class SimulationService:
             },
             "simulations": c["admitted"],
             "shard_restarts": c["full_failures"],
+            "verification": {
+                "sampled": 0,
+                "verified": 0,
+                "divergent": 0,
+                "inconclusive": 0,
+                "restored": 0,
+                "unresolved": 0,
+                "corrupted_injected": 0,
+            },
+            "dlq": {"strikes": 0, "parked": 0, "refused": 0},
         }
 
     def health(self) -> dict:

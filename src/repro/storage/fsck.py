@@ -55,7 +55,15 @@ from repro.storage.errors import ArtifactError
 ARTIFACT_SUFFIXES = (".snap", ".npz", ".jsonl", ".json")
 
 #: Classification statuses, in severity order (worst first).
-STATUSES = ("corrupt", "alien", "torn-tail", "stale-temp", "migratable", "healthy")
+STATUSES = (
+    "corrupt",
+    "divergent",
+    "alien",
+    "torn-tail",
+    "stale-temp",
+    "migratable",
+    "healthy",
+)
 
 
 @dataclass
@@ -278,6 +286,17 @@ def _probe_sim_result(path: Path, payload: dict, repair: bool) -> FsckEntry:
         return _quarantine_entry(
             path, "corrupt", "sim-result payload is not an object", repair
         )
+    integrity = payload.get("integrity", "unverified")
+    if integrity not in ("unverified", "verified"):
+        # A live entry carrying any other integrity marking (including a
+        # hand-edited "divergent") must never be served: quarantine it, so
+        # "fsck exits 0" implies "no divergent-marked entry can be served".
+        return _quarantine_entry(
+            path,
+            "corrupt",
+            f"sim-result integrity status {integrity!r} is not servable",
+            repair,
+        )
     return FsckEntry(str(path), "healthy")
 
 
@@ -334,6 +353,17 @@ def fsck_file(path: Union[str, Path], repair: bool = True) -> Optional[FsckEntry
     name = path.name
     if name.endswith(".lock") or ".corrupt" in name:
         return None  # locks and existing quarantine evidence: not ours to touch
+    if name.endswith(".divergent"):
+        # Shadow-verification divergence evidence: already quarantined by
+        # the verifier (the live entry was evicted), kept for diagnosis.
+        # Reported so operators see it, but it is contained damage — no
+        # action, and it does not fail the fsck run.
+        return FsckEntry(
+            str(path),
+            "divergent",
+            "none",
+            "quarantined divergent result (verification evidence)",
+        )
     if name.endswith(".lease"):
         return _probe_lease(path, repair)
     if ".tmp." in name:

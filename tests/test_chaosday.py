@@ -304,3 +304,90 @@ def test_request_conservation_under_any_seeded_fault_schedule(
                 + counters["degraded"] + counters["rejected"]
                 + counters["shed"] + counters["failed"])
     assert answered == counters["submitted"] == len(events)
+
+
+class TestCorruptionCampaign:
+    def test_injected_corruption_is_caught_and_campaign_passes(self, tmp_path):
+        """The tentpole gate: with silent corruption injected into every
+        served result and verification at 100%, the campaign passes ONLY
+        because every tainted digest was neutralized — quarantined as
+        proven-divergent, or fail-safe evicted when chaos shed its shadow
+        probe — and the report proves it."""
+        report, code = run_campaign(
+            small_cfg(shards=2, verify_rate=1.0, corrupt_rate=1.0,
+                      dlq_threshold=3),
+            tmp_path, full_runner=ok_full, fast_runner=ok_fast,
+        )
+        assert code == 0
+        audit = report["verification"]
+        assert audit["ok"] is True
+        assert audit["corrupted_injected"] > 0
+        assert audit["caught"] > 0
+        assert audit["neutralized"] == audit["tainted_digests"]
+        assert audit["uncaught"] == []
+        assert audit["live_divergent"] == 0
+        assert audit["integrity"]["divergent_evidence"] > 0
+        assert report["contract"]["verification"]["ok"] is True
+        assert report["fsck"]["exit_code"] == 0
+        assert "integrity: OK" in format_report(report)
+        gate = verify_campaign(tmp_path / "campaign.json")
+        assert gate.ok, gate.mismatches
+
+    def test_uncaught_corruption_fails_the_campaign(self, tmp_path):
+        """Corruption injected with verification OFF: the tainted results
+        sit in the store, the audit reports them uncaught, and the
+        campaign (and the regression gate) fail."""
+        report, code = run_campaign(
+            small_cfg(shards=2, corrupt_rate=1.0),
+            tmp_path, full_runner=ok_full, fast_runner=ok_fast,
+        )
+        assert code == 1
+        audit = report["verification"]
+        assert audit["ok"] is False
+        assert len(audit["uncaught"]) > 0
+        assert report["contract"]["ok"] is False
+        gate = verify_campaign(tmp_path / "campaign.json")
+        assert not gate.ok
+
+    def test_corruption_campaign_reproducible(self, tmp_path):
+        reports = []
+        for sub in ("a", "b"):
+            r, code = run_campaign(
+                small_cfg(seed=7, shards=2, verify_rate=1.0,
+                          corrupt_rate=0.3, dlq_threshold=3),
+                tmp_path / sub, full_runner=ok_full, fast_runner=ok_fast,
+            )
+            assert code == 0
+            reports.append(r)
+        assert json.dumps(reports[0], sort_keys=True) == json.dumps(
+            reports[1], sort_keys=True
+        )
+
+    def test_verify_rate_alone_forces_the_sharded_path(self, tmp_path):
+        report, code = run_campaign(
+            small_cfg(verify_rate=1.0),
+            tmp_path, full_runner=ok_full, fast_runner=ok_fast,
+        )
+        assert code == 0
+        assert report["sharding"] is not None
+        assert report["verification"]["counters"]["sampled"] > 0
+
+    def test_contract_folds_audit_in(self):
+        clock = VirtualClock()
+        svc = SimulationService(
+            ServiceConfig(workers=0), full_runner=ok_full,
+            fast_runner=ok_fast, clock=clock,
+        )
+        events = generate_traffic(
+            TrafficSpec(shape="uniform", requests=5, duration_s=1.0, seed=0)
+        )
+        responses = replay_traffic(svc, events, clock, tick_s=0.05)
+        clock.auto_advance_s = 0.05
+        stats = svc.drain(5.0)
+        responses.extend(svc.take_completed())
+        good = check_contract(events, responses, stats)
+        assert good["ok"] and "verification" not in good
+        bad_audit = {"ok": False, "uncaught": ["d" * 64]}
+        folded = check_contract(events, responses, stats, audit=bad_audit)
+        assert folded["ok"] is False
+        assert folded["verification"] == bad_audit

@@ -216,3 +216,72 @@ class TestCLI:
         p.write_bytes(b"junk")
         assert main(["fsck", str(tmp_path), "--dry-run"]) == 0
         assert p.exists()
+
+
+class TestDivergenceTaxonomy:
+    def _store_with_divergence(self, tmp_path):
+        from repro.service import ResultStore
+        from repro.service.identity import fields_digest
+
+        store = ResultStore(tmp_path / "rs", shards=2)
+        fields = {"mix": "mix05", "seed": 1}
+        digest = fields_digest(fields)
+        store.put(digest, fields, {"ipc": 1.0})
+        store.quarantine_divergent(
+            digest, fields,
+            primary_payload={"ipc": 1.0}, shadow_payload={"ipc": 2.0},
+        )
+        return store, digest
+
+    def test_divergent_evidence_is_reported_but_not_damage(self, tmp_path):
+        store, digest = self._store_with_divergence(tmp_path)
+        report = fsck_tree(store.root, repair=True)
+        assert report.exit_code == 0  # contained damage: never fails fsck
+        assert report.counts.get("divergent") == 1
+        entry = next(e for e in report.entries if e.status == "divergent")
+        assert entry.action == "none"
+        assert store.divergent_path(digest).exists()  # evidence untouched
+
+    def test_fsck_file_classifies_divergent_by_suffix(self, tmp_path):
+        store, digest = self._store_with_divergence(tmp_path)
+        entry = fsck_file(store.divergent_path(digest))
+        assert entry is not None and entry.status == "divergent"
+
+    def test_live_divergent_marked_entry_is_quarantined(self, tmp_path):
+        """fsck exit 0 must imply no divergent-marked entry can be served:
+        a live sim-result whose integrity field says anything but
+        unverified/verified is real damage."""
+        from repro.storage import embed_json_artifact
+
+        from repro.service import ResultStore
+        from repro.service.identity import fields_digest
+
+        store = ResultStore(tmp_path / "rs", shards=1)
+        fields = {"mix": "mix05", "seed": 2}
+        digest = fields_digest(fields)
+        sealed = embed_json_artifact(
+            {"identity": digest, "request": fields,
+             "payload": {"ipc": 1.0}, "integrity": "divergent"},
+            "sim-result", 1,
+        )
+        path = store.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(sealed))
+        report = fsck_tree(store.root, repair=True)
+        assert report.exit_code == 1
+        assert any("integrity" in (e.detail or "") for e in report.quarantined)
+        assert not path.exists()
+        # Convergence: the quarantined copy is evidence now, not damage.
+        assert fsck_tree(store.root, repair=True).exit_code == 0
+
+    def test_verified_entry_is_healthy(self, tmp_path):
+        from repro.service import ResultStore
+        from repro.service.identity import fields_digest
+
+        store = ResultStore(tmp_path / "rs", shards=1)
+        fields = {"mix": "mix05", "seed": 3}
+        digest = fields_digest(fields)
+        store.put(digest, fields, {"ipc": 1.0}, integrity="verified")
+        report = fsck_tree(store.root, repair=True)
+        assert report.exit_code == 0
+        assert report.counts == {"healthy": 1}
