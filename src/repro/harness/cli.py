@@ -204,7 +204,8 @@ def cmd_grid(args) -> None:
     session = faultfs_session(disk) if disk is not None else nullcontext()
     with session as ffs:
         grid = run_grid(defaults, quick=not args.full, journal=journal, retry=retry,
-                        executor=executor, mixes=mixes, fault_plan=plan)
+                        executor=executor, mixes=mixes, fault_plan=plan,
+                        batch=args.batch or None)
         if executor is not None and executor.failures:
             print(f"supervisor: {len(executor.failures)} failed attempt(s): " +
                   ", ".join(f"{f['label']}#{f['attempt']}:{f['kind']}"
@@ -546,12 +547,42 @@ def cmd_bench(args) -> int:
     ``--profile-stages`` prints the per-stage wall-clock breakdown;
     ``--cprofile PATH`` additionally dumps a cProfile of the detailed
     benchmark for offline ``pstats``/snakeviz analysis.
+
+    ``--sweep`` runs the aggregate sweep-throughput family instead (batch
+    engine vs sequential cells on a small ADTS grid). It doubles as a
+    correctness gate: exit 1 if the batch results are not bit-identical to
+    sequential, or if ``--sweep-floor X`` is given and the measured
+    batch-vs-sequential speedup falls below X.
     """
     from repro.perf.bench import (
         compare_to_baseline,
         format_report,
         run_benchmarks,
     )
+
+    if args.sweep:
+        from repro.perf.bench import run_sweep_benchmarks, write_report
+
+        report = run_sweep_benchmarks(quick=args.quick, seed=args.seed)
+        payload = report.to_dict()
+        if args.out:
+            write_report(args.out, payload)
+            print(f"wrote {args.out}", file=sys.stderr)
+        _emit(args, payload, format_report(report))
+        entry = report.benchmarks["sweep_throughput"]
+        if not entry["bit_identical"]:
+            print("FAIL: batch sweep results diverged from sequential",
+                  file=sys.stderr)
+            return 1
+        if args.sweep_floor is not None:
+            speedup = entry["speedup_batch_vs_sequential"]
+            if speedup < args.sweep_floor:
+                print(f"FAIL: sweep speedup {speedup:.2f}x below floor "
+                      f"{args.sweep_floor:.2f}x", file=sys.stderr)
+                return 1
+            print(f"sweep speedup {speedup:.2f}x >= floor "
+                  f"{args.sweep_floor:.2f}x", file=sys.stderr)
+        return 0
 
     if args.cprofile:
         import cProfile
@@ -730,6 +761,11 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                            help="directory for per-cell mid-run snapshots; "
                                 "retries resume instead of recomputing")
+            p.add_argument("--batch", type=int, default=0, metavar="N",
+                           help="simulate N cells per lockstep batch-engine "
+                                "pass (0 = one run per cell); bit-identical "
+                                "results, per-cell journal keys — any batch "
+                                "size resumes any other")
             p.add_argument("--mixes", default=None, metavar="M1,M2",
                            help="comma list of mixes (overrides quick/full)")
             p.add_argument("--faults", default=None, metavar="KINDS",
@@ -922,6 +958,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-cache", default=None, metavar="DIR",
                    help="persistent dir for the trace-cache benchmark "
                         "(default: a throwaway temp dir)")
+    p.add_argument("--sweep", action="store_true",
+                   help="benchmark aggregate sweep throughput: batched "
+                        "lockstep engine vs sequential cells on a small "
+                        "grid, gated on bit-identical fingerprints")
+    p.add_argument("--sweep-floor", type=float, default=None, metavar="X",
+                   help="with --sweep: exit 1 unless batch/sequential "
+                        "speedup is at least X (e.g. 1.2)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", action="store_true", help="emit JSON")
     p.set_defaults(func=cmd_bench)

@@ -121,6 +121,48 @@ def _run_grid_cell(spec: dict, progress, checkpoint_path: Optional[Path]) -> dic
 register_task_kind("grid_cell", _run_grid_cell)
 
 
+def _run_grid_batch(spec: dict, progress, checkpoint_path: Optional[Path]) -> dict:
+    """A batch-of-cells task: one lockstep engine pass over many grid cells.
+
+    ``spec["cells"]`` is a list of ``(threshold, heuristic, mix, key)``
+    tuples; the payload maps each cell's journal key to the same per-cell
+    dict ``_run_grid_cell`` returns, so the sweep can journal and aggregate
+    batched cells interchangeably with serial ones. ``progress`` fires per
+    lockstep round (all cells advance together, so rounds are the natural
+    heartbeat). Mid-run checkpoints are not taken for batches — a restarted
+    attempt recomputes the batch, which shared stepping keeps cheap.
+    """
+    from repro.harness.runner import BatchRunSpec, run_batch
+
+    base = spec["config"]
+    plan = spec.get("fault_plan")
+    if plan is not None and spec.get("strip_worker_faults"):
+        plan = plan.without_worker_faults()
+    specs = [
+        BatchRunSpec(
+            config=replace(base, mix=mix),
+            heuristic=h,
+            thresholds=ThresholdConfig(ipc_threshold=m),
+            fault_plan=plan,
+        )
+        for (m, h, mix, _key) in spec["cells"]
+    ]
+    results = run_batch(specs, progress=progress)
+    return {
+        "cells": {
+            key: {
+                "ipc": r.ipc,
+                "switches": r.scheduler.get("switches", 0),
+                "benign_probability": r.scheduler.get("benign_probability", 0.0),
+            }
+            for (_m, _h, _mix, key), r in zip(spec["cells"], results)
+        }
+    }
+
+
+register_task_kind("grid_batch", _run_grid_batch)
+
+
 def _run_service_cell(spec, progress, checkpoint_path: Optional[Path]) -> dict:
     """The simulation service's full-fidelity task: one detailed-engine run.
 

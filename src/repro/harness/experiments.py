@@ -135,11 +135,14 @@ def run_grid(
     executor=None,
     mixes: Optional[Sequence[str]] = None,
     fault_plan: Optional[FaultPlan] = None,
+    batch: Optional[int] = None,
 ) -> SweepResult:
     """The shared F7/F8 grid (optionally journaled/guarded/parallel — see
     :func:`~repro.harness.sweep.threshold_type_grid`). ``mixes`` overrides
     the quick/full mix set (smaller smoke grids); ``fault_plan`` applies to
-    every cell (disk-only plans leave the aggregate identical)."""
+    every cell (disk-only plans leave the aggregate identical); ``batch``
+    runs cells N at a time through the lockstep batch engine
+    (bit-identical, journal-compatible with any other batch size)."""
     return threshold_type_grid(
         defaults.base_run(),
         list(mixes) if mixes is not None else defaults.mixes(quick),
@@ -149,6 +152,7 @@ def run_grid(
         retry=retry,
         executor=executor,
         fault_plan=fault_plan,
+        batch=batch,
     )
 
 

@@ -348,6 +348,82 @@ def run_adts(
         return result
 
 
+@dataclass(frozen=True)
+class BatchRunSpec:
+    """One cell of a batched run: a :class:`RunConfig` plus the scheduler
+    selection ``run_adts``/``run_fixed`` would take as arguments."""
+
+    config: RunConfig
+    mode: str = "adts"
+    heuristic: str = "type3"
+    thresholds: Optional[ThresholdConfig] = None
+    fault_plan: Optional[FaultPlan] = None
+
+
+def run_batch(
+    specs: Sequence[BatchRunSpec],
+    progress: Optional[ProgressFn] = None,
+) -> List[RunResult]:
+    """Run many cells through one lockstep :class:`~repro.smt.batch.BatchEngine`
+    pass, sharing trace streams and (where trajectories coincide) whole
+    machine steps across cells.
+
+    Each result is bit-identical to the corresponding sequential
+    ``run_adts``/``run_fixed`` call: the engine forks shared machines the
+    moment cells diverge, so sharing is a pure performance transform.
+    Cells whose plan carries scheduler faults run solo (their own injector,
+    no cross-cell bleed) but still share trace streams. Disk-fault
+    families are scoped once around the whole pass — they never change
+    payloads, so the wider scope is observationally identical to the
+    sequential per-run session.
+
+    ``progress`` is called after every lockstep round (the batch analogue
+    of the per-quantum heartbeat).
+    """
+    from repro.smt.batch import BatchCell, BatchEngine
+
+    cells = []
+    for spec in specs:
+        cfg = spec.config
+        cells.append(
+            BatchCell(
+                mix=cfg.mix,
+                num_threads=cfg.num_threads,
+                seed=cfg.seed,
+                quantum_cycles=cfg.quantum_cycles,
+                quanta=cfg.quanta,
+                warmup_quanta=cfg.warmup_quanta,
+                mode=spec.mode,
+                policy=cfg.policy,
+                heuristic=spec.heuristic,
+                thresholds=spec.thresholds,
+                machine=cfg.machine,
+                fault_plan=spec.fault_plan,
+            )
+        )
+    disk_plan = next(
+        (
+            s.fault_plan for s in specs
+            if s.fault_plan is not None and s.fault_plan.disk_plan() is not None
+        ),
+        None,
+    )
+    with _maybe_faultfs(disk_plan):
+        results = BatchEngine(cells).run(progress=progress)
+        flush_trace_cache()
+    return [
+        RunResult(
+            config=spec.config,
+            ipc=r.ipc,
+            committed=r.committed,
+            cycles=r.cycles,
+            quantum_ipcs=r.quantum_ipcs,
+            scheduler=r.scheduler,
+        )
+        for spec, r in zip(specs, results)
+    ]
+
+
 def run_mix_average(
     mixes: Sequence[str],
     base: RunConfig,

@@ -121,6 +121,86 @@ def _run_cell(
     }
 
 
+def _run_batched_cells(
+    base: RunConfig,
+    thresholds: Sequence[float],
+    heuristics: Sequence[str],
+    mixes: Sequence[str],
+    batch: int,
+    journal: Optional[RunJournal],
+    executor: Optional["SupervisedExecutor"],
+    fault_plan: Optional[FaultPlan],
+    payloads: Dict[str, Dict],
+) -> None:
+    """Run the grid's unjournaled cells in lockstep batches of ``batch``.
+
+    Journal keys stay strictly per-cell (the same ``_grid_cell_key`` the
+    serial path uses), so a sweep journaled at one batch size resumes at
+    any other — including ``--batch 1`` and the serial path. Cells already
+    in the journal are served before batches are formed and never
+    re-simulated.
+    """
+    pending: List[tuple] = []
+    for m in thresholds:
+        for h in heuristics:
+            for mix in mixes:
+                key = _grid_cell_key(base, m, h, mix, fault_plan)
+                served = journal.get(key) if journal is not None else None
+                if served is not None:
+                    payloads[key] = served
+                else:
+                    pending.append((m, h, mix, key))
+    chunks = [pending[i:i + batch] for i in range(0, len(pending), batch)]
+
+    def record(chunk_keys: Sequence[str], chunk_payloads: Dict[str, Dict]) -> None:
+        for key in chunk_keys:
+            payloads[key] = chunk_payloads[key]
+            if journal is not None:
+                journal.record(key, chunk_payloads[key])
+
+    if executor is not None:
+        from repro.harness.executor import WorkItem
+
+        items = [
+            WorkItem(
+                label=f"grid-batch[{i}]",
+                kind="grid_batch",
+                spec={"config": base, "cells": chunk, "fault_plan": fault_plan},
+            )
+            for i, chunk in enumerate(chunks)
+        ]
+        # The executor journals per item key; batch items carry no key
+        # (their identity is not a cell's), so the sweep journals each
+        # unpacked cell itself below.
+        outs = executor.run(items)
+        for item in items:
+            payload = outs[item.result_key]
+            record([k for (_m, _h, _mix, k) in item.spec["cells"]], payload["cells"])
+        return
+    from repro.harness.runner import BatchRunSpec, run_batch
+
+    for chunk in chunks:
+        specs = [
+            BatchRunSpec(
+                config=replace(base, mix=mix),
+                heuristic=h,
+                thresholds=ThresholdConfig(ipc_threshold=m),
+                fault_plan=fault_plan,
+            )
+            for (m, h, mix, _key) in chunk
+        ]
+        results = run_batch(specs)
+        chunk_payloads = {
+            key: {
+                "ipc": r.ipc,
+                "switches": r.scheduler.get("switches", 0),
+                "benign_probability": r.scheduler.get("benign_probability", 0.0),
+            }
+            for (_m, _h, _mix, key), r in zip(chunk, results)
+        }
+        record([k for (_m, _h, _mix, k) in chunk], chunk_payloads)
+
+
 def threshold_type_grid(
     base: RunConfig,
     mixes: Sequence[str],
@@ -130,6 +210,7 @@ def threshold_type_grid(
     retry: Optional[RetryPolicy] = None,
     executor: Optional["SupervisedExecutor"] = None,
     fault_plan: Optional[FaultPlan] = None,
+    batch: Optional[int] = None,
 ) -> SweepResult:
     """Run the full grid. Cost = len(thresholds) x len(heuristics) x
     len(mixes) simulations of ``base.total_quanta()`` quanta each.
@@ -150,12 +231,25 @@ def threshold_type_grid(
     ``fault_plan`` applies to every cell run (serial or supervised).
     Disk-only plans exercise the storage layer without changing any cell
     payload, so the aggregate stays identical to a fault-free sweep.
+
+    With ``batch`` = N, cells run N at a time through the lockstep
+    :class:`~repro.smt.batch.BatchEngine` (bit-identical to serial cells);
+    under an ``executor``, each supervised worker then owns a whole batch
+    instead of one cell. Journal keys remain per-cell either way, so any
+    batch size resumes a journal written by any other. Per-cell ``retry``
+    does not apply inside a batch (the executor's restart budget covers a
+    whole batch attempt).
     """
     result = SweepResult(
         thresholds=list(thresholds), heuristics=list(heuristics), mixes=list(mixes)
     )
     payloads: Dict[str, Dict] = {}
-    if executor is not None:
+    if batch:
+        _run_batched_cells(
+            base, thresholds, heuristics, mixes, batch,
+            journal, executor, fault_plan, payloads,
+        )
+    elif executor is not None:
         from repro.harness.executor import WorkItem
 
         items = [
