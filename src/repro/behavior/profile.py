@@ -1,0 +1,346 @@
+"""Behaviour profiles: a labelled window of telemetry with identity.
+
+A *behaviour profile* freezes what the system actually did — sim counters
+and policy-switch rates, service queue/refusal/breaker/DLQ/verification
+rates, bench rates, batch dedup/fork telemetry — into one flat numeric
+metric namespace, stamped with identity metadata (commit, seed, config
+fingerprint, host). The paper's thesis applied to the system itself:
+measured behaviour, not assumptions, is what a baseline should pin.
+
+Profiles are deliberately timestamp-free: the payload of a snapshot is a
+pure function of what was measured plus the environment identity, so the
+same seeded run snapshots to the same content-addressed profile id and a
+drift report against a baseline is byte-reproducible.
+
+Capture helpers by layer:
+
+* :func:`profile_from_service` — any service exposing the unified
+  ``summary()`` schema (:class:`~repro.service.SimulationService` or
+  :class:`~repro.service.ShardedService`), with whole-run ``rate.*``
+  metrics derived per submitted request — the same namespace the online
+  :class:`~repro.behavior.guard.DriftGuard` recomputes over its rolling
+  window.
+* :func:`profile_from_bench` — a ``bench-report`` payload (legacy plain
+  JSON like ``BENCH_PR4.json`` or the enveloped ``BENCH_PR9.json``).
+* :func:`profile_from_campaign` — a ``chaos-campaign`` report.
+* :func:`profile_from_sim` — sim counters (``SimStats.summary()`` /
+  :class:`~repro.harness.runner.RunResult`) plus an optional
+  policy-switching report and batch-engine telemetry.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+#: Storage-artifact identity of a behaviour profile.
+PROFILE_FORMAT = "behaviour-profile"
+PROFILE_VERSION = 1
+
+#: ``rate.<name>`` metrics derived from the unified service ``summary()``
+#: schema: numerator path in the flattened summary, denominator is
+#: ``submitted``. The whole-run capture and the DriftGuard's rolling
+#: window both speak exactly this namespace, so an offline baseline is
+#: directly comparable to an online window.
+SERVICE_RATE_KEYS: Dict[str, str] = {
+    "rate.answered": "answered",
+    "rate.journal_hits": "cache.journal_hits",
+    "rate.store_hits": "cache.store_hits",
+    "rate.simulations": "simulations",
+    "rate.shard_restarts": "shard_restarts",
+    "rate.coalesced_waiters": "coalescing.coalesced_waiters",
+    "rate.waiter_refusals": "coalescing.waiter_refusals",
+    "rate.dlq_refused": "dlq.refused",
+    "rate.verification_divergent": "verification.divergent",
+}
+
+_LABEL_OK = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def flatten_metrics(obj: object, prefix: str = "") -> Dict[str, float]:
+    """Flatten nested telemetry into ``dotted.name -> float`` leaves.
+
+    Only numeric leaves survive (bools become 0.0/1.0 — useful for flags
+    like ``bit_identical``); strings, Nones and lists are dropped, so
+    event logs and free-form provenance never pollute the metric space.
+    """
+    out: Dict[str, float] = {}
+    if isinstance(obj, Mapping):
+        for key in sorted(obj):
+            name = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_metrics(obj[key], name))
+        return out
+    if isinstance(obj, bool):
+        out[prefix] = 1.0 if obj else 0.0
+    elif isinstance(obj, (int, float)):
+        out[prefix] = float(obj)
+    return out
+
+
+def _sanitize_label(label: str) -> str:
+    cleaned = _LABEL_OK.sub("-", label).strip("-.")
+    if not cleaned:
+        raise ValueError(f"unusable profile label {label!r}")
+    return cleaned
+
+
+@dataclass(frozen=True)
+class BehaviorProfile:
+    """One captured window of behaviour, ready for baselining."""
+
+    label: str
+    source: str  # "service" | "bench" | "sim" | "chaosday" | "imported"
+    metrics: Dict[str, float] = field(default_factory=dict)
+    identity: Dict[str, object] = field(default_factory=dict)
+    window: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "label", _sanitize_label(self.label))
+        if not self.metrics:
+            raise ValueError("a behaviour profile needs at least one metric")
+        bad = sorted(
+            k for k, v in self.metrics.items()
+            if not isinstance(v, (int, float)) or isinstance(v, bool)
+        )
+        if bad:
+            raise ValueError(f"non-numeric metrics: {bad[:5]}")
+
+    @property
+    def profile_id(self) -> str:
+        """Content-addressed id: ``<label>-<digest12>`` over the payload.
+
+        Two snapshots of the same measured behaviour in the same
+        environment collapse to the same id — re-snapshotting a seeded
+        run is idempotent rather than duplicative.
+        """
+        from repro.service.identity import fields_digest
+
+        return f"{self.label}-{fields_digest(self.to_payload())[:12]}"
+
+    def to_payload(self) -> dict:
+        """JSON document body (the ``"artifact"`` block rides alongside)."""
+        return {
+            "kind": PROFILE_FORMAT,
+            "label": self.label,
+            "source": self.source,
+            "identity": dict(self.identity),
+            "window": dict(self.window),
+            "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "BehaviorProfile":
+        """Rebuild from a stored payload; raises ValueError on damage."""
+        if not isinstance(payload.get("metrics"), Mapping):
+            raise ValueError("behaviour profile payload has no metrics object")
+        metrics = {
+            str(k): float(v)
+            for k, v in payload["metrics"].items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        }
+        return cls(
+            label=str(payload.get("label", "")),
+            source=str(payload.get("source", "unknown")),
+            metrics=metrics,
+            identity=dict(payload.get("identity") or {}),
+            window=dict(payload.get("window") or {}),
+        )
+
+
+def profile_identity(
+    seed: Optional[int] = None,
+    config_fields: Optional[Mapping] = None,
+    extra: Optional[Mapping] = None,
+) -> Dict[str, object]:
+    """Identity metadata: commit/branch, host, python, seed and a config
+    fingerprint (:func:`~repro.service.identity.fields_digest` over the
+    canonical config), so a baseline names exactly what it measured."""
+    import platform
+    import socket
+
+    from repro.perf.bench import _git_metadata
+    from repro.service.identity import fields_digest
+
+    identity: Dict[str, object] = dict(_git_metadata())
+    identity["host"] = socket.gethostname()
+    identity["python"] = platform.python_version()
+    if seed is not None:
+        identity["seed"] = int(seed)
+    if config_fields is not None:
+        identity["config_digest"] = fields_digest(dict(config_fields))
+    if extra:
+        identity.update(dict(extra))
+    return identity
+
+
+def service_rates(
+    flat_now: Mapping[str, float],
+    flat_then: Optional[Mapping[str, float]] = None,
+) -> Dict[str, float]:
+    """The ``rate.*`` namespace over a summary delta.
+
+    With ``flat_then`` omitted the rates cover the whole run; the
+    DriftGuard passes the oldest snapshot in its rolling window instead.
+    Returns {} when no request was submitted in the delta — there is no
+    behaviour to rate yet.
+    """
+    then = flat_then or {}
+    submitted = flat_now.get("submitted", 0.0) - then.get("submitted", 0.0)
+    if submitted <= 0:
+        return {}
+    rates: Dict[str, float] = {}
+    for name, path in SERVICE_RATE_KEYS.items():
+        delta = flat_now.get(path, 0.0) - then.get(path, 0.0)
+        rates[name] = delta / submitted
+    return rates
+
+
+def profile_from_service(
+    service,
+    label: str,
+    seed: Optional[int] = None,
+    breakdown: Optional[Mapping] = None,
+    window: Optional[Mapping] = None,
+) -> BehaviorProfile:
+    """Capture a service's unified ``summary()`` plus derived rates.
+
+    ``breakdown`` (a :func:`~repro.service.breakdown` result over the
+    run's responses) folds outcome/tier shares in when the caller has
+    the response stream at hand.
+    """
+    summary = service.summary()
+    flat = flatten_metrics({k: v for k, v in summary.items() if k != "behavior"})
+    metrics = dict(flat)
+    metrics.update(service_rates(flat))
+    if breakdown is not None:
+        metrics.update(
+            flatten_metrics(
+                {
+                    "deadline_miss_rate": breakdown.get("deadline_miss_rate"),
+                    "degraded_share": breakdown.get("degraded_share"),
+                    "outcomes": breakdown.get("outcomes"),
+                    "tiers": breakdown.get("tiers"),
+                },
+                "breakdown",
+            )
+        )
+    cfg = getattr(service, "config", None)
+    config_fields = None
+    if cfg is not None:
+        from dataclasses import asdict
+
+        config_fields = asdict(cfg)
+    return BehaviorProfile(
+        label=label,
+        source="service",
+        metrics=metrics,
+        identity=profile_identity(seed=seed, config_fields=config_fields),
+        window=dict(window or {}),
+    )
+
+
+def profile_from_bench(
+    payload: Mapping, label: str, source: str = "bench"
+) -> BehaviorProfile:
+    """Capture a ``bench-report`` payload (legacy plain or enveloped)."""
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, Mapping) or not benchmarks:
+        raise ValueError("bench report payload has no benchmarks")
+    metrics = flatten_metrics(benchmarks, "bench")
+    identity = profile_identity(seed=payload.get("seed"))
+    # The report's own provenance outranks the capturing environment's:
+    # an imported BENCH_PR4.json keeps the commit/machine it measured.
+    git = payload.get("git")
+    if isinstance(git, Mapping):
+        identity.update({k: git[k] for k in ("commit", "branch") if k in git})
+    machine = payload.get("machine")
+    if isinstance(machine, Mapping) and "platform" in machine:
+        identity["host"] = machine["platform"]
+    return BehaviorProfile(
+        label=label,
+        source=source,
+        metrics=metrics,
+        identity=identity,
+        window={"quick": bool(payload.get("quick", False))},
+    )
+
+
+def profile_from_campaign(
+    report: Mapping, label: str, source: str = "chaosday"
+) -> BehaviorProfile:
+    """Capture the deterministic portion of a chaos-campaign report."""
+    contract = report.get("contract")
+    if not isinstance(contract, Mapping):
+        raise ValueError("campaign report has no contract block")
+    picked = {
+        "contract": contract,
+        "breakdown": report.get("breakdown"),
+        "counters": report.get("counters"),
+        "breaker": report.get("breaker"),
+        "fsck": report.get("fsck"),
+        "exit_code": report.get("exit_code"),
+    }
+    scaler = report.get("autoscaler")
+    if isinstance(scaler, Mapping):
+        picked["autoscaler"] = {
+            k: scaler.get(k) for k in ("scale_ups", "scale_downs", "target")
+        }
+    sharding = report.get("sharding")
+    if isinstance(sharding, Mapping):
+        summary = dict(sharding.get("summary") or {})
+        summary.pop("behavior", None)
+        picked["sharding"] = summary
+    metrics = flatten_metrics(picked)
+    # Fold the summary-derived rate.* namespace in for sharded campaigns,
+    # and a contract-derived rate for plain ones, so campaign baselines
+    # can seed a DriftGuard directly.
+    if isinstance(sharding, Mapping):
+        metrics.update(service_rates(flatten_metrics(sharding.get("summary") or {})))
+    cfg = report.get("config")
+    return BehaviorProfile(
+        label=label,
+        source=source,
+        metrics=metrics,
+        identity=profile_identity(
+            seed=(cfg or {}).get("seed"),
+            config_fields=cfg if isinstance(cfg, Mapping) else None,
+        ),
+        window={
+            "requests": contract.get("submitted"),
+            "deterministic": bool(report.get("deterministic", False)),
+        },
+    )
+
+
+def profile_from_sim(
+    stats_summary: Mapping,
+    label: str,
+    switching: Optional[Mapping] = None,
+    batch_telemetry: Optional[Mapping] = None,
+    seed: Optional[int] = None,
+    config_fields: Optional[Mapping] = None,
+    window: Optional[Mapping] = None,
+) -> BehaviorProfile:
+    """Capture sim counters plus optional policy-switch / batch telemetry.
+
+    ``stats_summary`` is a :meth:`~repro.smt.stats.SimStats.summary` dict
+    (or any flat numeric mapping, e.g. ``{"ipc": ..., **result.scheduler}``
+    from a :class:`~repro.harness.runner.RunResult`); ``switching`` a
+    :meth:`~repro.analysis.switching.SwitchingReport.as_dict`;
+    ``batch_telemetry`` a :attr:`~repro.smt.batch.BatchEngine.telemetry`.
+    """
+    metrics = flatten_metrics(stats_summary, "sim")
+    if switching is not None:
+        metrics.update(flatten_metrics(switching, "switching"))
+    if batch_telemetry is not None:
+        metrics.update(flatten_metrics(batch_telemetry, "batch"))
+    if not metrics:
+        raise ValueError("sim capture produced no numeric metrics")
+    return BehaviorProfile(
+        label=label,
+        source="sim",
+        metrics=metrics,
+        identity=profile_identity(seed=seed, config_fields=config_fields),
+        window=dict(window or {}),
+    )

@@ -115,6 +115,12 @@ class CampaignConfig:
         queue_capacity / degrade_at_depth / max_attempts /
         breaker_failures / breaker_cooldown_s / drain_deadline_s:
             service knobs, passed through.
+        profile_store: behaviour-profile store directory — the campaign's
+            behaviour is snapshotted there at the end, and when the store
+            has a designated baseline a rolling DriftGuard runs inside
+            the service for the whole campaign (None disables both).
+        profile_label: label for the captured profile (default
+            ``chaosday``).
     """
 
     seed: int = 0
@@ -140,6 +146,8 @@ class CampaignConfig:
     breaker_failures: int = 3
     breaker_cooldown_s: float = 2.0
     drain_deadline_s: float = 15.0
+    profile_store: Optional[str] = None
+    profile_label: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -313,6 +321,24 @@ def run_campaign(
             service_cfg, full_runner=full_runner, fast_runner=fast_runner, clock=clock
         )
 
+    profile_store = None
+    if cfg.profile_store is not None:
+        from repro.behavior import DriftGuard, DriftGuardConfig, ProfileStore
+
+        profile_store = ProfileStore(cfg.profile_store)
+        service.profile_label = cfg.profile_label or "chaosday"
+        baseline = profile_store.load_baseline()
+        if baseline is not None:
+            try:
+                service.attach_drift_guard(
+                    DriftGuard(baseline, DriftGuardConfig())
+                )
+            except ValueError:
+                # Baseline carries no rate.* metrics (a sim or bench
+                # profile): nothing to compare online; offline drift via
+                # `repro profile drift` still covers it.
+                pass
+
     # The disk fault family lives under everything the journal writes
     # during the campaign; the traffic/report artifacts are written after
     # the session so the evidence itself is never fault-injected.
@@ -380,6 +406,40 @@ def run_campaign(
         "fsck": {"counts": fsck.counts, "exit_code": fsck.exit_code},
         "exit_code": exit_code,
     }
+    if profile_store is not None:
+        from repro.behavior import (
+            BehaviorProfile,
+            flatten_metrics,
+            profile_from_campaign,
+            service_rates,
+        )
+
+        profile = profile_from_campaign(
+            report, cfg.profile_label or "chaosday"
+        )
+        if not any(k.startswith("rate.") for k in profile.metrics):
+            # Unsharded campaigns carry no sharding summary in the report;
+            # derive the rate.* namespace from the live service so this
+            # profile can still seed a DriftGuard as a baseline.
+            flat = flatten_metrics(
+                {k: v for k, v in service.summary().items() if k != "behavior"}
+            )
+            rates = service_rates(flat)
+            if rates:
+                profile = BehaviorProfile(
+                    label=profile.label,
+                    source=profile.source,
+                    metrics={**profile.metrics, **rates},
+                    identity=profile.identity,
+                    window=profile.window,
+                )
+        profile_id = profile_store.save(profile)
+        guard = service._drift_guard
+        report["behavior"] = {
+            "profile": profile_id,
+            "baseline": profile_store.baseline_id(),
+            "guard": guard.summary() if guard is not None else None,
+        }
     doc = embed_json_artifact(report, CAMPAIGN_FORMAT, CAMPAIGN_VERSION)
     blob = json.dumps(doc, indent=2, sort_keys=True) + "\n"
     atomic_write_bytes(out / "campaign.json", blob.encode("utf-8"))

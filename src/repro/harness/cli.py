@@ -20,6 +20,8 @@ Commands map one-to-one onto the experiment index (DESIGN.md §4):
                contract held and fsck quarantined nothing
     fsck       audit and repair an artifact tree (journals, checkpoints,
                trace caches, reports); exits non-zero iff it quarantined
+    profile    behaviour profiles: snapshot a run's telemetry into a
+               labelled artifact, designate baselines, compute drift
     mixes      list the 13 mixes
     policies   list the Table-1 policies
 
@@ -356,6 +358,59 @@ def _build_service(args, clock=None):
     return SimulationService(cfg, **kwargs)
 
 
+def _profile_store(args):
+    """The `--profile DIR` store, or None when profiling is off."""
+    path = getattr(args, "profile", None)
+    if not path:
+        return None
+    from repro.behavior import ProfileStore
+
+    return ProfileStore(path)
+
+
+def _arm_drift_guard(service, args, default_label):
+    """Wire `--profile` into a service: label the run and, when the store
+    has a designated baseline, attach a rolling DriftGuard. Returns the
+    store (None when profiling is off)."""
+    store = _profile_store(args)
+    if store is None:
+        return None
+    service.profile_label = getattr(args, "profile_label", None) or default_label
+    baseline = store.load_baseline()
+    if baseline is not None:
+        from repro.behavior import DriftGuard, DriftGuardConfig
+
+        try:
+            service.attach_drift_guard(
+                DriftGuard(
+                    baseline,
+                    DriftGuardConfig(
+                        degrade_on_drift=getattr(args, "drift_degrade", False)
+                    ),
+                )
+            )
+        except ValueError:
+            print("profile baseline has no rate.* metrics; drift guard "
+                  "disabled (offline drift still applies)", file=sys.stderr)
+    return store
+
+
+def _snapshot_service_profile(store, service, args, breakdown=None) -> None:
+    """Capture the drained service's behaviour into the profile store."""
+    if store is None:
+        return
+    from repro.behavior import profile_from_service
+
+    profile = profile_from_service(
+        service,
+        service.profile_label or "service",
+        seed=getattr(args, "seed", None),
+        breakdown=breakdown,
+    )
+    profile_id = store.save(profile)
+    print(f"behaviour profile saved: {profile_id}", file=sys.stderr)
+
+
 def cmd_serve(args) -> int:
     """`repro serve`: the long-running overload-safe simulation service.
 
@@ -372,11 +427,14 @@ def cmd_serve(args) -> int:
     from repro.service import ServeLoop
 
     service = _build_service(args)
-    return ServeLoop(
+    store = _arm_drift_guard(service, args, "serve")
+    code = ServeLoop(
         service,
         drain_deadline_s=args.drain_deadline,
         record_path=args.record,
     ).run()
+    _snapshot_service_profile(store, service, args)
+    return code
 
 
 def cmd_burst(args) -> None:
@@ -466,6 +524,7 @@ def cmd_replay(args) -> int:
     if args.workers == 0:
         clock = VirtualClock()
         service = _build_service(args, clock=clock)
+        store = _arm_drift_guard(service, args, f"replay-{args.shape}")
         responses = replay_traffic(
             service, events, clock,
             tick_s=args.tick, time_scale=args.time_scale,
@@ -473,11 +532,14 @@ def cmd_replay(args) -> int:
         clock.auto_advance_s = args.tick
     else:
         service = _build_service(args)
+        store = _arm_drift_guard(service, args, f"replay-{args.shape}")
         responses = replay_realtime(service, events, time_scale=args.time_scale)
     stats = service.drain(args.drain_deadline)
     responses.extend(service.take_completed())
+    bd = breakdown(responses)
+    _snapshot_service_profile(store, service, args, breakdown=bd)
     print(json.dumps(
-        {"source": source, "breakdown": breakdown(responses),
+        {"source": source, "breakdown": bd,
          "counters": stats["counters"], "autoscaler": stats["autoscaler"]},
         indent=2, default=str))
     return 0
@@ -506,6 +568,8 @@ def cmd_chaosday(args) -> int:
         tick_s=args.tick,
         time_scale=args.time_scale,
         drain_deadline_s=args.drain_deadline,
+        profile_store=args.profile,
+        profile_label=args.profile_label,
     )
     report, exit_code = run_campaign(cfg, args.out)
     if args.json:
@@ -539,6 +603,18 @@ def cmd_oracle(args) -> None:
     _emit(args, out, text)
 
 
+def _snapshot_bench_profile(args, payload: dict, default_label: str) -> None:
+    """Capture a bench report into the `--profile` store (no-op without)."""
+    store = _profile_store(args)
+    if store is None:
+        return
+    from repro.behavior import profile_from_bench
+
+    label = getattr(args, "profile_label", None) or default_label
+    profile_id = store.save(profile_from_bench(payload, label))
+    print(f"behaviour profile saved: {profile_id}", file=sys.stderr)
+
+
 def cmd_bench(args) -> int:
     """`repro bench`: deterministic wall-clock benchmarks.
 
@@ -568,6 +644,7 @@ def cmd_bench(args) -> int:
         if args.out:
             write_report(args.out, payload)
             print(f"wrote {args.out}", file=sys.stderr)
+        _snapshot_bench_profile(args, payload, "bench-sweep")
         _emit(args, payload, format_report(report))
         entry = report.benchmarks["sweep_throughput"]
         if not entry["bit_identical"]:
@@ -616,6 +693,8 @@ def cmd_bench(args) -> int:
 
         write_report(args.out, payload)
         print(f"wrote {args.out}", file=sys.stderr)
+    _snapshot_bench_profile(args, payload,
+                            "bench-quick" if args.quick else "bench")
 
     text = format_report(report)
     if args.profile_stages:
@@ -692,6 +771,143 @@ def cmd_dlq(args) -> int:
     removed = dlq.purge()
     print(f"purged {removed} entr{'y' if removed == 1 else 'ies'}")
     return 0
+
+
+def cmd_profile_snapshot(args) -> int:
+    """`repro profile snapshot`: run one simulation and capture its
+    behaviour (counters, switch telemetry, watchdog/fault counters) as a
+    labelled profile artifact. The profile id is content-addressed, so the
+    same seed and config always produce the same id, byte-identically —
+    and `--faults` perturbations move the id and the metrics with it."""
+    from repro.behavior import ProfileStore, profile_from_sim
+
+    cfg = RunConfig(
+        mix=args.mix, quantum_cycles=args.quantum, quanta=args.quanta,
+        warmup_quanta=args.warmup, seed=args.seed, policy=args.policy,
+    )
+    plan = _fault_plan(args)
+    if args.adts:
+        from repro.core.thresholds import ThresholdConfig
+
+        result = run_adts(cfg, heuristic=args.heuristic,
+                          thresholds=ThresholdConfig(ipc_threshold=args.threshold),
+                          fault_plan=plan)
+    else:
+        result = run_fixed(cfg, fault_plan=plan)
+    profile = profile_from_sim(
+        {"ipc": result.ipc, **result.scheduler},
+        args.label,
+        seed=args.seed,
+        config_fields={
+            "mix": args.mix, "policy": args.policy, "adts": args.adts,
+            "heuristic": args.heuristic if args.adts else None,
+            "quantum_cycles": args.quantum, "quanta": args.quanta,
+            "warmup_quanta": args.warmup, "faults": args.faults or "",
+            "fault_rate": args.fault_rate if args.faults else 0.0,
+        },
+        window={"quanta": args.quanta, "warmup_quanta": args.warmup},
+    )
+    store = ProfileStore(args.store)
+    profile_id = store.save(profile)
+    if args.baseline:
+        store.set_baseline(profile_id)
+    print(profile_id)
+    return 0
+
+
+def cmd_profile_import(args) -> int:
+    """`repro profile import`: the migration shim — convert committed
+    bench reports (BENCH_PR4.json, BENCH_PR9.json) or chaos-campaign
+    reports into behaviour-profile artifacts."""
+    from repro.behavior import ProfileStore
+    from repro.storage import ArtifactError
+
+    store = ProfileStore(args.store)
+    code = 0
+    for path in args.paths:
+        try:
+            profile_id = store.import_report(path, args.label)
+        except (OSError, ArtifactError, ValueError) as exc:
+            print(f"SKIP {path}: {exc}", file=sys.stderr)
+            code = 1
+        else:
+            print(f"{path} -> {profile_id}")
+    return code
+
+
+def cmd_profile_list(args) -> int:
+    """`repro profile list`: inventory of the store (`*` = baseline)."""
+    from repro.behavior import ProfileStore
+
+    entries = ProfileStore(args.store).list_profiles()
+    if args.json:
+        print(json.dumps(entries, indent=2, sort_keys=True, default=str))
+        return 0
+    if not entries:
+        print(f"no profiles in {args.store}")
+        return 0
+    for e in entries:
+        mark = "*" if e.get("baseline") else " "
+        if "error" in e:
+            print(f"{mark} {e['id']}  UNREADABLE: {e['error']}")
+        else:
+            print(f"{mark} {e['id']}  source={e['source']} "
+                  f"metrics={e['metrics']} seed={e['seed']}")
+    return 0
+
+
+def cmd_profile_baseline(args) -> int:
+    """`repro profile baseline`: designate the store's baseline."""
+    from repro.behavior import ProfileStore
+
+    try:
+        ProfileStore(args.store).set_baseline(args.id)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"baseline -> {args.id}")
+    return 0
+
+
+def cmd_profile_drift(args) -> int:
+    """`repro profile drift`: compare a profile against the baseline.
+
+    Exits 0 on `ok`, 1 on `drift` (or on `warn` with `--fail-on-warn`);
+    the report is deterministic — the same pair of profiles always prints
+    the same bytes."""
+    from repro.behavior import DriftConfig, ProfileStore, compute_drift
+    from repro.storage import ArtifactError
+
+    store = ProfileStore(args.store)
+    try:
+        current = store.load(args.id)
+        baseline_id = args.baseline or store.baseline_id()
+        if baseline_id is None:
+            print("no baseline designated (run `repro profile baseline ID` "
+                  "first, or pass --baseline ID)", file=sys.stderr)
+            return 2
+        baseline = store.load(baseline_id)
+    except (OSError, ArtifactError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.rel_tol is not None:
+        kwargs["rel_tol"] = args.rel_tol
+    if args.abs_floor is not None:
+        kwargs["abs_floor"] = args.abs_floor
+    if args.ignore:
+        kwargs["ignore"] = tuple(
+            frag.strip() for frag in args.ignore.split(",") if frag.strip()
+        )
+    report = compute_drift(baseline, current, DriftConfig(**kwargs))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    failed = report.verdict == "drift" or (
+        args.fail_on_warn and report.verdict == "warn"
+    )
+    return 1 if failed else 0
 
 
 def cmd_mixes(args) -> None:
@@ -860,6 +1076,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 disables; enables the sharded front-door)")
         p.add_argument("--seed", type=int, default=0)
 
+    def _add_profile_opts(p: argparse.ArgumentParser,
+                          guard: bool = False) -> None:
+        p.add_argument("--profile", default=None, metavar="DIR",
+                       help="behaviour-profile store: snapshot this run's "
+                            "behaviour into DIR at exit; when DIR has a "
+                            "designated baseline, also run a rolling "
+                            "DriftGuard against it")
+        p.add_argument("--profile-label", default=None, metavar="LABEL",
+                       help="label for the captured profile (default: "
+                            "derived from the command)")
+        if guard:
+            p.add_argument("--drift-degrade", action="store_true",
+                           help="while the drift guard holds sustained "
+                                "drift, serve degradable requests with the "
+                                "fast model (answered exactly once, never "
+                                "dropped)")
+
     p = sub.add_parser("serve",
                        help="overload-safe simulation service (JSONL stdio)")
     p.add_argument("--record", default=None, metavar="PATH",
@@ -867,6 +1100,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "offsets) as a traffic-recording artifact at drain, "
                         "for later `repro replay`")
     _add_service_opts(p, workers=2)
+    _add_profile_opts(p, guard=True)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("replay",
@@ -885,6 +1119,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-scale", type=float, default=1.0,
                    help="arrival-time multiplier (0.1 = 10x faster)")
     _add_service_opts(p, workers=0)
+    _add_profile_opts(p, guard=True)
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("chaosday",
@@ -926,6 +1161,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", action="store_true",
                    help="print the full campaign report JSON")
+    _add_profile_opts(p)
     p.set_defaults(func=cmd_chaosday)
 
     p = sub.add_parser("burst", help="seeded overload demo")
@@ -967,6 +1203,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "speedup is at least X (e.g. 1.2)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", action="store_true", help="emit JSON")
+    _add_profile_opts(p)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("dlq", help="manage the poison-pill dead-letter queue")
@@ -988,6 +1225,72 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the machine-readable report")
     p.set_defaults(func=cmd_fsck)
+
+    p = sub.add_parser("profile",
+                       help="behaviour profiles: snapshot, baseline, drift")
+    psub = p.add_subparsers(dest="action", required=True)
+
+    ps = psub.add_parser("snapshot",
+                         help="run one simulation and capture its behaviour")
+    ps.add_argument("--store", required=True, metavar="DIR",
+                    help="profile store directory")
+    ps.add_argument("--label", required=True,
+                    help="profile label (id = label-<digest>)")
+    ps.add_argument("--mix", default="mix07")
+    ps.add_argument("--policy", default="icount", choices=POLICY_NAMES)
+    ps.add_argument("--adts", action="store_true")
+    ps.add_argument("--heuristic", default="type3")
+    ps.add_argument("--threshold", type=float, default=2.0)
+    ps.add_argument("--faults", default=None, metavar="KINDS",
+                    help="seeded fault injection (the drift-demo knob): "
+                         "comma list of counters,dt,policy,hangs or 'all'")
+    ps.add_argument("--fault-rate", type=float, default=0.25)
+    ps.add_argument("--fault-seed", type=int, default=None)
+    ps.add_argument("--baseline", action="store_true",
+                    help="designate the captured profile as the baseline")
+    _add_common(ps)
+    ps.set_defaults(func=cmd_profile_snapshot)
+
+    ps = psub.add_parser("import",
+                         help="convert bench/campaign reports into profiles")
+    ps.add_argument("paths", nargs="+", metavar="PATH",
+                    help="bench report (e.g. BENCH_PR4.json) or "
+                         "chaos-campaign report")
+    ps.add_argument("--store", required=True, metavar="DIR")
+    ps.add_argument("--label", default=None,
+                    help="override the label (default: the file stem)")
+    ps.set_defaults(func=cmd_profile_import)
+
+    ps = psub.add_parser("list", help="inventory the profile store")
+    ps.add_argument("--store", required=True, metavar="DIR")
+    ps.add_argument("--json", action="store_true")
+    ps.set_defaults(func=cmd_profile_list)
+
+    ps = psub.add_parser("baseline",
+                         help="designate a profile as the store baseline")
+    ps.add_argument("id", help="profile id (see `repro profile list`)")
+    ps.add_argument("--store", required=True, metavar="DIR")
+    ps.set_defaults(func=cmd_profile_baseline)
+
+    ps = psub.add_parser("drift",
+                         help="compare a profile against the baseline")
+    ps.add_argument("id", help="profile id to judge")
+    ps.add_argument("--store", required=True, metavar="DIR")
+    ps.add_argument("--baseline", default=None, metavar="ID",
+                    help="compare against this profile instead of the "
+                         "store's designated baseline")
+    ps.add_argument("--rel-tol", type=float, default=None,
+                    help="relative tolerance for deterministic metrics "
+                         "(default 0.05)")
+    ps.add_argument("--abs-floor", type=float, default=None,
+                    help="scale floor for near-zero metrics (default 1.0)")
+    ps.add_argument("--ignore", default=None, metavar="FRAGS",
+                    help="comma list of metric-name fragments to exclude")
+    ps.add_argument("--fail-on-warn", action="store_true",
+                    help="exit 1 on `warn` too, not just `drift`")
+    ps.add_argument("--json", action="store_true",
+                    help="print the full deterministic DriftReport")
+    ps.set_defaults(func=cmd_profile_drift)
 
     for name, func in (("mixes", cmd_mixes), ("policies", cmd_policies)):
         p = sub.add_parser(name, help=f"list {name}")

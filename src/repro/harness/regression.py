@@ -178,6 +178,67 @@ def verify_campaign(path: Union[str, pathlib.Path]) -> RegressionReport:
     return report
 
 
+def verify_profile(
+    path: Union[str, pathlib.Path],
+    baseline_path: Union[str, pathlib.Path],
+    rel_tol: Optional[float] = None,
+    abs_floor: Optional[float] = None,
+    ignore: tuple = (),
+    fail_on_warn: bool = False,
+) -> RegressionReport:
+    """Gate a behaviour profile against a baseline profile: drift as
+    mismatches.
+
+    Loads both ``behaviour-profile`` artifacts (checksum verified by the
+    storage layer), computes structured drift with the seeded-noise-aware
+    defaults from :mod:`repro.behavior.drift`, and turns every drifting
+    metric into a :class:`Mismatch` so CI fails the build with the same
+    machinery the goldens gate uses. ``warn`` metrics only fail when
+    ``fail_on_warn`` is set; metrics *missing* from the current profile
+    fail (the behaviour stopped being measured); *extra* metrics never
+    fail (future PRs may add telemetry without breaking the gate).
+    """
+    from repro.behavior import DriftConfig, compute_drift, load_profile
+    from repro.storage import ArtifactError
+
+    report = RegressionReport()
+    name = pathlib.Path(path).name
+    sides = {}
+    for role, p in (("baseline", baseline_path), ("current", path)):
+        try:
+            sides[role] = load_profile(p)
+        except (OSError, ArtifactError, ValueError) as exc:
+            report.mismatches.append(
+                Mismatch(pathlib.Path(p).name, "<file>",
+                         f"loadable behaviour-profile ({role})",
+                         f"{type(exc).__name__}: {exc}", "missing")
+            )
+    if report.mismatches:
+        return report
+    kwargs = {"ignore": tuple(ignore)}
+    if rel_tol is not None:
+        kwargs["rel_tol"] = rel_tol
+    if abs_floor is not None:
+        kwargs["abs_floor"] = abs_floor
+    drift = compute_drift(sides["baseline"], sides["current"], DriftConfig(**kwargs))
+    report.files_compared = 1
+    for metric in drift.metrics:
+        bad = metric.verdict == "drift" or (
+            fail_on_warn and metric.verdict == "warn"
+        )
+        if bad:
+            report.mismatches.append(
+                Mismatch(name, f"$.metrics.{metric.metric}",
+                         metric.baseline, metric.current, "value")
+            )
+    for missing in drift.missing:
+        report.mismatches.append(
+            Mismatch(name, f"$.metrics.{missing}",
+                     sides["baseline"].metrics[missing], None, "missing")
+        )
+    return report
+
+
 def compare_to_goldens(
     results_dir: Union[str, pathlib.Path],
     goldens_dir: Union[str, pathlib.Path],

@@ -191,6 +191,11 @@ class ShardedService:
         self._accepting = True
         self._draining = False
         self._paused = False
+        # Behaviour observability (duck-typed — this module never imports
+        # repro.behavior): optional rolling drift guard plus the label the
+        # harness will snapshot this run's profile under.
+        self._drift_guard = None
+        self.profile_label: Optional[str] = None
         plan = self.config.fault_plan
         plan_seed = plan.seed if plan is not None else 0
         # Silent-corruption injection (chaos campaigns): a seeded draw per
@@ -250,6 +255,10 @@ class ShardedService:
         )
 
     # -- pass-throughs the serve/replay loops rely on ------------------------
+    def attach_drift_guard(self, guard) -> None:
+        """Attach a rolling drift guard; fed one summary per pump."""
+        self._drift_guard = guard
+
     @property
     def num_shards(self) -> int:
         return len(self.shards)
@@ -369,6 +378,8 @@ class ShardedService:
         now = self.clock()
         self._sweep_waiters(now)
         self._poll_remote(now)
+        if self._drift_guard is not None:
+            self._drift_guard.observe(now, self.summary())
         return len(self._completed) - produced
 
     def _collect(self, now: float) -> None:
@@ -801,6 +812,11 @@ class ShardedService:
                 dict(self.verifier.counters) if self.verifier is not None else None
             ),
             "dlq": self.dlq.stats() if self.dlq is not None else None,
+            "drift_guard": (
+                self._drift_guard.summary()
+                if self._drift_guard is not None
+                else None
+            ),
         }
 
     def summary(self) -> dict:
@@ -841,6 +857,19 @@ class ShardedService:
                 "strikes": self.counters["dlq_strikes"],
                 "parked": self.counters["dlq_parked"],
                 "refused": self.counters["dlq_refused"],
+            },
+            "behavior": {
+                "profile_label": self.profile_label,
+                "baseline": (
+                    getattr(self._drift_guard, "baseline_id", None)
+                    if self._drift_guard is not None
+                    else None
+                ),
+                "guard": (
+                    self._drift_guard.brief()
+                    if self._drift_guard is not None
+                    else None
+                ),
             },
         }
 

@@ -94,6 +94,15 @@ class ServeLoop:
         self.outfile.write(json.dumps(obj, sort_keys=True) + "\n")
         self.outfile.flush()
 
+    def _emit_drift_events(self) -> None:
+        """Surface drift-guard escalations/clears on the event stream so
+        operators can correlate them with scale and breaker events."""
+        guard = getattr(self.service, "_drift_guard", None)
+        if guard is None:
+            return
+        for event in guard.take_events():
+            self._emit({"event": "drift", **event.to_dict()})
+
     def _read_lines_thread(self) -> None:
         for line in self.infile:
             self._lines.put(line)
@@ -215,6 +224,7 @@ class ServeLoop:
                         break
                 if self.service.pump():
                     busy = True
+                self._emit_drift_events()
                 for response in self.service.take_completed():
                     self._emit({"event": "response", "response": response.to_json()})
                 if self._eof and self.service.pending == 0:
@@ -222,6 +232,7 @@ class ServeLoop:
                 if not busy:
                     time.sleep(self.service.config.poll_interval_s)
             stats = self.service.drain(self.drain_deadline_s)
+            self._emit_drift_events()
             for response in self.service.take_completed():
                 self._emit({"event": "response", "response": response.to_json()})
             if self.record_path is not None:

@@ -284,7 +284,16 @@ class SimulationService:
         self._accepting = True
         self._draining = False
         self.paused = False
+        # Behaviour observability: duck-typed drift guard (attached by the
+        # harness; this module never imports repro.behavior) and the label
+        # under which this run's profile will be snapshotted.
+        self._drift_guard = None
+        self.profile_label: Optional[str] = None
         self.counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+
+    def attach_drift_guard(self, guard) -> None:
+        """Attach a rolling drift guard; fed one summary per pump."""
+        self._drift_guard = guard
 
     # -- admission (the degradation ladder's first rung) ---------------------
     def submit(self, request: SimRequest) -> Optional[SimResponse]:
@@ -319,6 +328,16 @@ class SimulationService:
             if request.degradable:
                 return self._respond_degraded(request, "breaker-open")
             return self._respond_rejected(request, "breaker-open")
+
+        # Ladder rung 2.5: the drift guard holds sustained-drift pressure —
+        # behaviour has departed the baseline, so shield the full tier by
+        # fast-serving degradable traffic (still answered exactly once).
+        if (
+            self._drift_guard is not None
+            and getattr(self._drift_guard, "degrade_active", False)
+            and request.degradable
+        ):
+            return self._respond_degraded(request, "drift-guard")
 
         # Ladder rung 3: queue pressure (real or chaos-injected).
         overloaded = (
@@ -374,6 +393,8 @@ class SimulationService:
             self._respond_shed(entry, "deadline-expired")
         if self.autoscaler is not None:
             self._observe_pressure(now)
+        if self._drift_guard is not None:
+            self._drift_guard.observe(now, self.summary())
         if self.breaker.state == STATE_OPEN:
             while True:
                 entry, shed = self.queue.take_if(
@@ -717,6 +738,11 @@ class SimulationService:
             "autoscaler": (
                 self.autoscaler.summary() if self.autoscaler is not None else None
             ),
+            "drift_guard": (
+                self._drift_guard.summary()
+                if self._drift_guard is not None
+                else None
+            ),
         }
 
     def summary(self) -> dict:
@@ -761,6 +787,19 @@ class SimulationService:
                 "corrupted_injected": 0,
             },
             "dlq": {"strikes": 0, "parked": 0, "refused": 0},
+            "behavior": {
+                "profile_label": self.profile_label,
+                "baseline": (
+                    getattr(self._drift_guard, "baseline_id", None)
+                    if self._drift_guard is not None
+                    else None
+                ),
+                "guard": (
+                    self._drift_guard.brief()
+                    if self._drift_guard is not None
+                    else None
+                ),
+            },
         }
 
     def health(self) -> dict:

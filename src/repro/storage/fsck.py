@@ -245,6 +245,8 @@ def _probe_json(path: Path, blob: bytes, repair: bool) -> FsckEntry:
         return _quarantine_entry(path, "corrupt", "embedded checksum mismatch", repair)
     if meta.get("format") == "sim-result":
         return _probe_sim_result(path, payload, repair)
+    if meta.get("format") == "behaviour-profile":
+        return _probe_behavior_profile(path, payload, repair)
     return FsckEntry(str(path), "healthy")
 
 
@@ -296,6 +298,46 @@ def _probe_sim_result(path: Path, payload: dict, repair: bool) -> FsckEntry:
             "corrupt",
             f"sim-result integrity status {integrity!r} is not servable",
             repair,
+        )
+    return FsckEntry(str(path), "healthy")
+
+
+def _probe_behavior_profile(path: Path, payload: dict, repair: bool) -> FsckEntry:
+    """Verify a behaviour profile's structure beyond its checksum.
+
+    A profile drives baseline comparisons and CI gates, so a structurally
+    damaged one (no metrics, non-numeric values, missing label) would
+    poison every drift verdict computed from it — quarantine rather than
+    serve. Booleans are rejected explicitly: they pass ``isinstance(...,
+    int)`` but are never legitimate metric values.
+    """
+    label = payload.get("label")
+    source = payload.get("source")
+    metrics = payload.get("metrics")
+    identity = payload.get("identity")
+    if not isinstance(label, str) or not label:
+        return _quarantine_entry(
+            path, "corrupt", "behaviour-profile missing label", repair
+        )
+    if not isinstance(source, str) or not source:
+        return _quarantine_entry(
+            path, "corrupt", "behaviour-profile missing source", repair
+        )
+    if not isinstance(metrics, dict) or not metrics:
+        return _quarantine_entry(
+            path, "corrupt", "behaviour-profile carries no metrics", repair
+        )
+    for name, value in metrics.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return _quarantine_entry(
+                path,
+                "corrupt",
+                f"behaviour-profile metric {name!r} is not numeric",
+                repair,
+            )
+    if not isinstance(identity, dict):
+        return _quarantine_entry(
+            path, "corrupt", "behaviour-profile missing identity block", repair
         )
     return FsckEntry(str(path), "healthy")
 

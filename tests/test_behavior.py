@@ -1,0 +1,551 @@
+"""Behaviour profiles, baselines, drift, and the in-service DriftGuard.
+
+The contract under test, end to end:
+
+* capture is deterministic and content-addressed — the same measured
+  behaviour snapshots to the same profile id, byte-identically;
+* drift math is a pure function with a three-way verdict — a profile
+  against itself is always ``ok`` with every delta exactly zero, and a
+  seeded perturbation beyond tolerance is always ``drift`` (hypothesis
+  properties);
+* the DriftGuard escalates only on *sustained* drift (streaks +
+  cooldown, autoscaler-style hysteresis — no flapping at the tolerance
+  boundary) and never costs a response: with the guard attached and
+  degradation active, every submitted request is still answered exactly
+  once;
+* profiles are first-class storage artifacts: fsck classifies them
+  (healthy / migratable / corrupt+quarantine), and the committed bench
+  reports import as baseline-comparable history;
+* `verify_profile` turns drift into the regression gate CI keys on.
+"""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.behavior import (
+    BehaviorProfile,
+    DriftConfig,
+    DriftGuard,
+    DriftGuardConfig,
+    ProfileStore,
+    compute_drift,
+    flatten_metrics,
+    is_noisy_metric,
+    load_profile,
+    profile_from_bench,
+    profile_from_campaign,
+    profile_from_service,
+    profile_from_sim,
+    service_rates,
+)
+from repro.harness.regression import verify_profile
+from repro.service import ServeLoop, ServiceConfig, SimRequest, SimulationService
+from repro.storage import fsck_tree
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def make_profile(metrics=None, label="t", source="test"):
+    return BehaviorProfile(
+        label=label,
+        source=source,
+        metrics=metrics or {"rate.answered": 0.9, "sim.ipc": 1.5},
+        identity={"seed": 0},
+        window={"requests": 10},
+    )
+
+
+# -- capture ------------------------------------------------------------------
+class TestFlatten:
+    def test_nested_numeric_leaves_only(self):
+        flat = flatten_metrics({
+            "a": {"b": 1, "c": 2.5},
+            "flag": True,
+            "name": "dropped",
+            "none": None,
+            "list": [1, 2],
+        })
+        assert flat == {"a.b": 1.0, "a.c": 2.5, "flag": 1.0}
+
+    def test_service_rates_whole_run_and_delta(self):
+        now = {"submitted": 20.0, "answered": 18.0, "cache.journal_hits": 4.0}
+        rates = service_rates(now)
+        assert rates["rate.answered"] == pytest.approx(0.9)
+        assert rates["rate.journal_hits"] == pytest.approx(0.2)
+        then = {"submitted": 10.0, "answered": 10.0, "cache.journal_hits": 4.0}
+        windowed = service_rates(now, then)
+        assert windowed["rate.answered"] == pytest.approx(0.8)
+        assert windowed["rate.journal_hits"] == 0.0
+        assert service_rates(then, then) == {}  # no traffic, no behaviour
+
+
+class TestProfile:
+    def test_content_addressed_id_is_stable(self):
+        assert make_profile().profile_id == make_profile().profile_id
+        changed = make_profile(metrics={"rate.answered": 0.8, "sim.ipc": 1.5})
+        assert changed.profile_id != make_profile().profile_id
+
+    def test_label_sanitized_and_validation(self):
+        assert BehaviorProfile(
+            label="we ird/label", source="t", metrics={"m": 1.0}
+        ).label == "we-ird-label"
+        with pytest.raises(ValueError):
+            BehaviorProfile(label="x", source="t", metrics={})
+        with pytest.raises(ValueError):
+            BehaviorProfile(label="x", source="t", metrics={"m": "nan"})
+
+    def test_payload_round_trip(self):
+        p = make_profile()
+        q = BehaviorProfile.from_payload(p.to_payload())
+        assert q == p and q.profile_id == p.profile_id
+
+    def test_profile_from_sim_prefixes(self):
+        p = profile_from_sim(
+            {"ipc": 1.2, "switches": 4},
+            "simrun",
+            switching={"num_switches": 4, "benign_probability": 0.5},
+            batch_telemetry={"forks": 2},
+            seed=7,
+        )
+        assert p.metrics["sim.ipc"] == 1.2
+        assert p.metrics["switching.num_switches"] == 4.0
+        assert p.metrics["batch.forks"] == 2.0
+        assert p.identity["seed"] == 7
+
+    def test_profile_from_bench_keeps_report_provenance(self):
+        payload = json.loads((REPO / "BENCH_PR4.json").read_text())
+        p = profile_from_bench(payload, "pr4")
+        assert any(k.startswith("bench.") for k in p.metrics)
+        # The imported report's commit, not the capturing checkout's.
+        assert p.identity["commit"] == payload["git"]["commit"]
+
+
+# -- store --------------------------------------------------------------------
+class TestStore:
+    def test_round_trip_and_baseline_pointer(self, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        pid = store.save(make_profile())
+        assert store.load(pid) == make_profile()
+        assert store.baseline_id() is None and store.load_baseline() is None
+        store.set_baseline(pid)
+        assert store.baseline_id() == pid
+        assert store.load_baseline() == make_profile()
+        with pytest.raises(FileNotFoundError):
+            store.set_baseline("nope")
+
+    def test_save_is_idempotent(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        a = store.save(make_profile())
+        blob = (tmp_path / f"{a}.json").read_bytes()
+        assert store.save(make_profile()) == a
+        assert (tmp_path / f"{a}.json").read_bytes() == blob  # byte-identical
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_listing_marks_baseline_and_damage(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        pid = store.save(make_profile())
+        store.set_baseline(pid)
+        (tmp_path / "broken.json").write_text("{not json")
+        entries = {e["id"]: e for e in store.list_profiles()}
+        assert entries[pid]["baseline"] is True
+        assert entries[pid]["source"] == "test"
+        assert "error" in entries["broken"]
+
+    def test_import_committed_bench_history(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        pr4 = store.import_report(REPO / "BENCH_PR4.json")  # legacy plain JSON
+        pr9 = store.import_report(REPO / "BENCH_PR9.json")  # enveloped
+        assert pr4.startswith("bench_pr4-") and pr9.startswith("bench_pr9-")
+        store.set_baseline(pr4)
+        report = compute_drift(store.load(pr4), store.load(pr9))
+        assert report.verdict in ("ok", "warn", "drift")  # comparable history
+        assert store.load(pr4).source == "imported"
+
+    def test_import_rejects_unknown_documents(self, tmp_path):
+        alien = tmp_path / "alien.json"
+        alien.write_text(json.dumps({"whatever": 1}))
+        with pytest.raises(ValueError):
+            ProfileStore(tmp_path / "s").import_report(alien)
+
+
+# -- drift math ---------------------------------------------------------------
+_METRIC_NAMES = st.sampled_from(
+    ["sim.ipc", "rate.answered", "counters.shed", "bench.detailed.rate",
+     "switching.num_switches", "breakdown.degraded_share"]
+)
+_METRICS = st.dictionaries(
+    _METRIC_NAMES,
+    st.floats(min_value=-1e9, max_value=1e9,
+              allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestDrift:
+    @settings(max_examples=100, deadline=None)
+    @given(metrics=_METRICS)
+    def test_self_comparison_is_always_ok_with_zero_drift(self, metrics):
+        profile = BehaviorProfile(label="p", source="test", metrics=metrics)
+        report = compute_drift(profile, profile)
+        assert report.ok and report.verdict == "ok"
+        assert not report.missing and not report.extra
+        assert all(m.rel_delta == 0.0 and m.verdict == "ok"
+                   for m in report.metrics)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        base=st.floats(min_value=1.0, max_value=1e6,
+                       allow_nan=False, allow_infinity=False),
+        bump=st.floats(min_value=0.2, max_value=10.0),
+        sign=st.sampled_from([1.0, -1.0]),
+    )
+    def test_perturbation_beyond_tolerance_is_always_drift(
+            self, base, bump, sign):
+        # delta/(1+delta) >= 0.2/1.2 > the 5% deterministic tolerance,
+        # in either direction, for any magnitude above the floor.
+        current = base * (1.0 + sign * bump) if sign > 0 else base / (1.0 + bump)
+        report = compute_drift(
+            {"counters.shed": base}, {"counters.shed": current}
+        )
+        assert report.verdict == "drift"
+        assert report.worst is not None
+        assert report.worst.metric == "counters.shed"
+
+    def test_boundary_is_ok_not_drift(self):
+        # rel_delta == rel_tol exactly: inside tolerance by definition
+        # (strict >), so repeated comparison at the boundary cannot flap.
+        cfg = DriftConfig(rel_tol=0.05, warn_fraction=1.0)
+        report = compute_drift({"m": 100.0}, {"m": 95.0}, cfg)
+        assert report.metrics[0].rel_delta == pytest.approx(0.05)
+        assert report.verdict == "ok"
+
+    def test_warn_band_between_ok_and_drift(self):
+        cfg = DriftConfig(rel_tol=0.10, warn_fraction=0.5)
+        assert compute_drift({"m": 100.0}, {"m": 96.0}, cfg).verdict == "ok"
+        assert compute_drift({"m": 100.0}, {"m": 92.0}, cfg).verdict == "warn"
+        assert compute_drift({"m": 100.0}, {"m": 85.0}, cfg).verdict == "drift"
+
+    def test_noisy_metrics_get_wide_tolerance(self):
+        assert is_noisy_metric("bench.detailed.quanta_per_s")
+        assert not is_noisy_metric("sim.ipc")
+        # 40% swing on a wall-clock rate: inside the noisy band.
+        report = compute_drift(
+            {"bench.x.quanta_per_s": 100.0}, {"bench.x.quanta_per_s": 60.0}
+        )
+        assert report.verdict != "drift"
+
+    def test_missing_and_extra_are_warn_not_drift(self):
+        report = compute_drift({"a": 1.0, "b": 2.0}, {"a": 1.0, "c": 3.0})
+        assert report.verdict == "warn"
+        assert report.missing == ["b"] and report.extra == ["c"]
+
+    def test_overrides_and_ignore(self):
+        cfg = DriftConfig(
+            rel_tol=0.05,
+            overrides={"counters.": 1.0, "counters.shed": 0.01},
+            ignore=("fsck",),
+        )
+        assert cfg.tolerance_for("counters.shed") == 0.01   # exact beats prefix
+        assert cfg.tolerance_for("counters.other") == 1.0   # longest prefix
+        assert cfg.ignored("fsck.exit_code")
+        report = compute_drift(
+            {"fsck.exit_code": 0.0, "m": 1.0}, {"fsck.exit_code": 1.0, "m": 1.0},
+            cfg,
+        )
+        assert report.ok and len(report.metrics) == 1
+
+    def test_report_dict_is_deterministic(self):
+        a = make_profile(metrics={"m": 1.0, "n": 5.0})
+        b = make_profile(metrics={"m": 1.3, "n": 5.0}, label="other")
+        one = json.dumps(compute_drift(a, b).to_dict(), sort_keys=True)
+        two = json.dumps(compute_drift(a, b).to_dict(), sort_keys=True)
+        assert one == two
+
+
+# -- the guard ----------------------------------------------------------------
+def feed(guard, now, submitted, answered):
+    guard.observe(now, {"submitted": submitted, "answered": answered})
+
+
+class TestDriftGuard:
+    def cfg(self, **kw):
+        defaults = dict(window=8, min_submitted=4, warn_streak=2,
+                        drift_streak=3, clear_streak=4, cooldown_s=0.0)
+        defaults.update(kw)
+        return DriftGuardConfig(**defaults)
+
+    def test_requires_rate_metrics(self):
+        with pytest.raises(ValueError):
+            DriftGuard({"sim.ipc": 1.0})
+
+    def test_escalates_on_sustained_drift_and_recovers(self):
+        guard = DriftGuard(make_profile(), self.cfg(degrade_on_drift=True))
+        now, sub, ans = 0.0, 0, 0
+        for _ in range(10):  # matching behaviour: stays steady
+            sub, ans = sub + 5, ans + 4  # ~0.9 within tolerance
+            feed(guard, now, sub, ans)
+            now += 1
+        assert guard.level == 0 and guard.last_verdict == "ok"
+        for _ in range(10):  # behaviour collapses: answered flatlines
+            sub += 5
+            feed(guard, now, sub, ans)
+            now += 1
+        assert guard.level == 2 and guard.state == "drifting"
+        assert guard.degrade_active
+        kinds = [e.kind for e in guard.take_events()]
+        assert kinds == ["escalate", "escalate"]
+        assert guard.take_events() == []  # drained
+        for _ in range(30):  # recovery steps down one level at a time
+            sub, ans = sub + 5, ans + 4
+            feed(guard, now, sub, ans)
+            now += 1
+        assert guard.level == 0 and not guard.degrade_active
+        assert guard.clears == 2
+
+    def test_single_bad_window_never_escalates(self):
+        guard = DriftGuard(make_profile(), self.cfg())
+        now, sub, ans = 0.0, 0, 0
+        for i in range(40):
+            sub += 5
+            # One drifting window in every warn_streak-sized stretch;
+            # the ok observations in between reset the streaks.
+            ans += 0 if i % 3 == 0 else 5
+            feed(guard, now, sub, ans)
+            now += 1
+        assert guard.level == 0 and guard.escalations == 0
+
+    def test_cooldown_throttles_level_changes(self):
+        guard = DriftGuard(make_profile(), self.cfg(cooldown_s=100.0))
+        now, sub, ans = 0.0, 0, 0
+        for _ in range(30):
+            sub += 5
+            feed(guard, now, sub, ans)  # permanent drift
+            now += 1
+        # One escalation at most: the second is inside the cooldown.
+        assert guard.level == 1 and guard.escalations == 1
+
+    def test_schema_growth_is_not_drift(self):
+        guard = DriftGuard(
+            {"rate.answered": 1.0}, self.cfg()
+        )
+        now, sub = 0.0, 0
+        for _ in range(10):
+            sub += 5
+            guard.observe(now, {
+                "submitted": sub, "answered": sub,
+                "brand_new_subsystem": {"metric": sub * 3},
+            })
+            now += 1
+        assert guard.comparisons > 0 and guard.level == 0
+
+    def test_on_escalate_hook_fires(self):
+        seen = []
+        guard = DriftGuard(make_profile(), self.cfg(),
+                           on_escalate=seen.append)
+        now, sub, ans = 0.0, 0, 0
+        for _ in range(20):
+            sub += 5
+            feed(guard, now, sub, ans)
+            now += 1
+        assert seen and seen[0].kind == "escalate"
+        assert guard.summary()["events"]
+
+
+class TestGuardInService:
+    def run_service(self, *, degrade_on_drift, n=30):
+        clock = {"t": 0.0}
+        svc = SimulationService(
+            ServiceConfig(workers=0, queue_capacity=64),
+            full_runner=lambda r: {"ipc": 1.0},
+            fast_runner=lambda r: {"ipc": 0.5},
+            clock=lambda: clock["t"],
+        )
+        # Baseline promises zero answering; the live service answers
+        # everything, so every comparable window reads as drift.
+        guard = DriftGuard(
+            {"rate.answered": 0.0},
+            DriftGuardConfig(window=6, min_submitted=2, warn_streak=1,
+                             drift_streak=2, clear_streak=2, cooldown_s=0.0,
+                             degrade_on_drift=degrade_on_drift),
+        )
+        svc.attach_drift_guard(guard)
+        for i in range(n):
+            svc.submit(SimRequest(request_id=f"r{i}", client="c", mix="mix05",
+                                  mode="adts", quanta=4, warmup_quanta=1,
+                                  seed=1))
+            clock["t"] += 1.0
+            svc.pump()
+        svc.drain(5.0)
+        # The completed stream is the single source of truth: immediate
+        # dispositions land there too, so it alone proves conservation.
+        return svc, guard, svc.take_completed()
+
+    def test_escalation_telemetry_without_losing_requests(self):
+        svc, guard, responses = self.run_service(degrade_on_drift=True)
+        assert guard.escalations > 0  # the guard did fire...
+        ids = [r.request_id for r in responses]
+        assert len(ids) == 30 and len(set(ids)) == 30  # ...and cost nothing
+        assert any(r.outcome == "degraded" and r.reason == "drift-guard"
+                   for r in responses)
+        behavior = svc.summary()["behavior"]
+        assert behavior["guard"]["escalations"] == guard.escalations
+        assert svc.stats()["drift_guard"]["state"] == guard.state
+
+    def test_observe_only_guard_never_degrades(self):
+        svc, guard, responses = self.run_service(degrade_on_drift=False)
+        assert guard.escalations > 0
+        assert not any(r.reason == "drift-guard" for r in responses)
+        assert len(responses) == 30
+
+    def test_serve_loop_emits_drift_events(self):
+        lines = [
+            json.dumps({"op": "submit", "request": {
+                "request_id": f"r{i}", "mix": "mix05", "mode": "adts",
+                "quanta": 4, "warmup_quanta": 1, "seed": 1}})
+            for i in range(12)
+        ]
+        infile = io.StringIO("\n".join(lines) + "\n")
+        outfile = io.StringIO()
+        svc = SimulationService(
+            ServiceConfig(workers=0, queue_capacity=64, poll_interval_s=0.001),
+            full_runner=lambda r: {"ipc": 1.0},
+            fast_runner=lambda r: {"ipc": 0.5},
+        )
+        svc.profile_label = "looptest"
+        guard = DriftGuard(
+            {"rate.answered": 0.0},  # absurd baseline: answering is drift
+            DriftGuardConfig(window=4, min_submitted=1, warn_streak=1,
+                             drift_streak=2, clear_streak=2, cooldown_s=0.0),
+        )
+        svc.attach_drift_guard(guard)
+        # Escalate the guard before the loop starts (a StringIO feed hands
+        # the whole burst to one iteration, so the in-loop window never
+        # spans traffic); the loop must then drain the pending events.
+        for t in range(6):
+            guard.observe(float(t), {"submitted": 5 * (t + 1),
+                                     "answered": 5 * (t + 1)})
+        assert guard.escalations > 0
+        assert ServeLoop(svc, infile=infile, outfile=outfile).run() == 0
+        events = [json.loads(l) for l in outfile.getvalue().splitlines()]
+        drift = [e for e in events if e["event"] == "drift"]
+        assert drift and drift[0]["kind"] == "escalate"
+        assert drift[0]["state"] in ("warning", "drifting")
+        drained = next(e for e in events if e["event"] == "drained")
+        assert drained["summary"]["behavior"]["profile_label"] == "looptest"
+        assert drained["summary"]["behavior"]["guard"]["escalations"] >= 1
+        assert len([e for e in events if e["event"] == "response"]) == 12
+
+
+# -- storage integration ------------------------------------------------------
+class TestProfileFsck:
+    def test_healthy_store_and_pointer_ignored(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        store.set_baseline(store.save(make_profile()))
+        report = fsck_tree(tmp_path, repair=True)
+        assert report.exit_code == 0 and report.counts == {"healthy": 1}
+
+    def test_crc_damage_is_quarantined(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        pid = store.save(make_profile())
+        path = tmp_path / f"{pid}.json"
+        doc = json.loads(path.read_text())
+        doc["metrics"]["sim.ipc"] = 99.0  # bytes no longer match the CRC
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True))
+        report = fsck_tree(tmp_path, repair=True)
+        assert report.exit_code == 1 and report.counts.get("corrupt") == 1
+        assert path.with_suffix(".json.corrupt").exists()
+
+    def test_structural_damage_is_quarantined(self, tmp_path):
+        from repro.storage import atomic_write_bytes, embed_json_artifact
+
+        doc = embed_json_artifact(
+            {"kind": "behaviour-profile", "label": "x", "source": "t",
+             "metrics": {}, "identity": {}},  # no metrics: poison baseline
+            "behaviour-profile", 1,
+        )
+        atomic_write_bytes(tmp_path / "empty.json",
+                           json.dumps(doc).encode("utf-8"))
+        report = fsck_tree(tmp_path, repair=True)
+        assert report.exit_code == 1 and report.counts.get("corrupt") == 1
+
+    def test_plain_json_profile_is_migratable(self, tmp_path):
+        (tmp_path / "legacy.json").write_text(
+            json.dumps(make_profile().to_payload())
+        )
+        report = fsck_tree(tmp_path, repair=True)
+        assert report.exit_code == 0
+        assert report.counts.get("migratable") == 1
+        # and still loadable through the normal path
+        assert load_profile(tmp_path / "legacy.json") == make_profile()
+
+
+# -- offline gating -----------------------------------------------------------
+class TestVerifyProfile:
+    def save_pair(self, tmp_path, base_metrics, cur_metrics):
+        store = ProfileStore(tmp_path)
+        base = store.save(make_profile(metrics=base_metrics, label="base"))
+        cur = store.save(make_profile(metrics=cur_metrics, label="cur"))
+        return store.path_for(cur), store.path_for(base)
+
+    def test_identical_profiles_pass(self, tmp_path):
+        cur, base = self.save_pair(
+            tmp_path, {"m": 1.0, "n": 2.0}, {"m": 1.0, "n": 2.0})
+        report = verify_profile(cur, base)
+        assert report.ok and report.files_compared == 1
+
+    def test_drift_fails_with_metric_paths(self, tmp_path):
+        cur, base = self.save_pair(
+            tmp_path, {"counters.shed": 10.0}, {"counters.shed": 30.0})
+        report = verify_profile(cur, base)
+        assert not report.ok
+        assert report.mismatches[0].path == "$.metrics.counters.shed"
+
+    def test_missing_metric_fails_extra_does_not(self, tmp_path):
+        cur, base = self.save_pair(
+            tmp_path, {"m": 1.0, "gone": 5.0}, {"m": 1.0, "new": 7.0})
+        report = verify_profile(cur, base)
+        assert [m.kind for m in report.mismatches] == ["missing"]
+        assert "gone" in report.mismatches[0].path
+
+    def test_warn_only_fails_when_asked(self, tmp_path):
+        cur, base = self.save_pair(tmp_path, {"m": 100.0}, {"m": 96.0})
+        assert verify_profile(cur, base).ok
+        assert not verify_profile(cur, base, fail_on_warn=True).ok
+
+    def test_unloadable_side_is_reported_not_raised(self, tmp_path):
+        cur, base = self.save_pair(tmp_path, {"m": 1.0}, {"m": 1.0})
+        report = verify_profile(tmp_path / "absent.json", base)
+        assert not report.ok and report.mismatches[0].kind == "missing"
+
+
+# -- capture from live layers -------------------------------------------------
+class TestCaptureHelpers:
+    def test_profile_from_service_speaks_guard_namespace(self):
+        svc = SimulationService(
+            ServiceConfig(workers=0, queue_capacity=16),
+            full_runner=lambda r: {"ipc": 1.0},
+            fast_runner=lambda r: {"ipc": 0.5},
+        )
+        for i in range(6):
+            svc.submit(SimRequest(
+                request_id=f"r{i}", client="c", mix="mix05", mode="adts",
+                quanta=4, warmup_quanta=1, seed=1))
+            svc.pump()
+        svc.drain(5.0)
+        svc.take_completed()
+        profile = profile_from_service(svc, "svc", seed=1)
+        assert profile.metrics["submitted"] == 6.0
+        assert 0.0 <= profile.metrics["rate.answered"] <= 1.0
+        # A service profile can seed a guard directly.
+        DriftGuard(profile)
+        assert profile.identity["config_digest"]
+
+    def test_profile_from_campaign_requires_contract(self):
+        with pytest.raises(ValueError):
+            profile_from_campaign({"no": "contract"}, "x")
